@@ -1,0 +1,139 @@
+// The `mako` command-line program — the artifact interface of the paper
+// (its appendix runs `build/bin/shark --mol sample/water60.xyz`).
+//
+// Usage:
+//   mako --mol <file.xyz> [options]
+//
+// Options:
+//   --mol <path>          XYZ geometry (Angstrom)            [required]
+//   --basis <name>        sto-3g | 6-31g | def2-tzvp | def2-qzvp |
+//                         cc-pvtz | cc-pvqz                  [sto-3g]
+//   --xc <name>           hf | lda | blyp | b3lyp            [hf]
+//   --engine <name>       mako | reference                   [mako]
+//   --quantize            enable QuantMako scheduling
+//   --autotune            enable CompilerMako kernel tuning
+//   --iterations <n>      fixed SCF iteration count (benchmark mode)
+//   --max-iterations <n>  SCF iteration cap                  [60]
+//   --convergence <eps>   SCF energy threshold               [1e-7]
+//   --grid <name>         coarse | standard | fine           [coarse]
+//   --charge <q>          total molecular charge             [0]
+//   --verbose             debug logging
+//   --help                this text
+//
+// Output mirrors the artifact: total wall-clock time, average SCF iteration
+// time excluding the first, and the energy decomposition.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/mako.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: mako --mol <file.xyz> [--basis NAME] [--xc NAME]\n"
+      "            [--engine mako|reference] [--quantize] [--autotune]\n"
+      "            [--iterations N] [--max-iterations N] [--convergence EPS]\n"
+      "            [--grid coarse|standard|fine] [--charge Q] [--verbose]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mol_path;
+  int charge = 0;
+  mako::MakoOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mako: %s expects a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--mol") {
+      mol_path = next("--mol");
+    } else if (arg == "--basis") {
+      options.basis = next("--basis");
+    } else if (arg == "--xc") {
+      options.functional = next("--xc");
+    } else if (arg == "--engine") {
+      const std::string engine = next("--engine");
+      if (engine == "mako") {
+        options.engine = mako::EriEngineKind::kMako;
+      } else if (engine == "reference") {
+        options.engine = mako::EriEngineKind::kReference;
+      } else {
+        std::fprintf(stderr, "mako: unknown engine '%s'\n", engine.c_str());
+        return 2;
+      }
+    } else if (arg == "--quantize") {
+      options.quantization = true;
+    } else if (arg == "--autotune") {
+      options.autotune = true;
+    } else if (arg == "--iterations") {
+      options.fixed_iterations = std::atoi(next("--iterations").c_str());
+    } else if (arg == "--max-iterations") {
+      options.max_iterations = std::atoi(next("--max-iterations").c_str());
+    } else if (arg == "--convergence") {
+      options.convergence = std::atof(next("--convergence").c_str());
+    } else if (arg == "--grid") {
+      const std::string grid = next("--grid");
+      if (grid == "coarse") {
+        options.grid = mako::GridSpec::coarse();
+      } else if (grid == "standard") {
+        options.grid = mako::GridSpec::standard();
+      } else if (grid == "fine") {
+        options.grid = mako::GridSpec::fine();
+      } else {
+        std::fprintf(stderr, "mako: unknown grid '%s'\n", grid.c_str());
+        return 2;
+      }
+    } else if (arg == "--charge") {
+      charge = std::atoi(next("--charge").c_str());
+    } else if (arg == "--verbose") {
+      mako::set_log_level(mako::LogLevel::kDebug);
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "mako: unknown option '%s'\n", arg.c_str());
+      print_usage();
+      return 2;
+    }
+  }
+
+  if (mol_path.empty()) {
+    std::fprintf(stderr, "mako: --mol is required\n");
+    print_usage();
+    return 2;
+  }
+
+  try {
+    mako::Molecule mol = mako::Molecule::from_xyz_file(mol_path);
+    mol.set_charge(charge);
+    std::printf("Mako — matrix-aligned quantum chemistry\n");
+    std::printf("molecule: %s (%zu atoms, %d electrons, charge %+d)\n",
+                mol_path.c_str(), mol.size(), mol.num_electrons(), charge);
+    std::printf("method:   %s/%s, engine=%s%s%s\n\n",
+                options.functional.c_str(), options.basis.c_str(),
+                options.engine == mako::EriEngineKind::kMako ? "mako"
+                                                             : "reference",
+                options.quantization ? " +quantize" : "",
+                options.autotune ? " +autotune" : "");
+
+    mako::MakoEngine engine(options);
+    const mako::MakoReport report = engine.compute_energy(mol);
+    std::cout << report.summary();
+    return report.scf.converged || options.fixed_iterations > 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mako: error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,143 @@
+// Ablation benches for the design choices called out in DESIGN.md that the
+// per-figure benches do not isolate on their own:
+//   (2) XOR layout swizzle — bank-conflict counts and measured conversion
+//       time vs the naive strided transpose;
+//   (7) implicit-ILP factor sweep through the GEMM micro-kernel;
+//   (+) batch-size sweep of the batched ERI engine;
+//   (+) partitioner comparison on a skewed Fock workload.
+#include <cstdio>
+#include <vector>
+
+#include "accel/tile_buffer.hpp"
+#include "compilermako/autotuner.hpp"
+#include "kernelmako/batched_eri.hpp"
+#include "linalg/gemm.hpp"
+#include "parallel/simcomm.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+using namespace mako;
+
+void ablate_swizzle() {
+  std::printf("[Ablation 2] Lightweight layout swizzle\n");
+
+  // Bank-conflict accounting on the simulated SMEM tile.
+  TileBuffer<float> naive(32, 32, TileLayout::kNaive);
+  TileBuffer<float> swz(32, 32, TileLayout::kSwizzle);
+  int worst_naive = 0, worst_swz = 0;
+  for (std::size_t col = 0; col < 32; ++col) {
+    worst_naive = std::max(worst_naive, naive.column_access_transactions(col));
+    worst_swz = std::max(worst_swz, swz.column_access_transactions(col));
+  }
+  std::printf("  transposed-column SMEM transactions per warp: naive %d-way, "
+              "swizzled %d-way\n",
+              worst_naive, worst_swz);
+
+  // Measured striped->blocked conversion time inside the batched engine.
+  const EriClassKey key{3, 3, 3, 3, 1, 1};
+  const CalibrationBatch batch = make_calibration_batch(key, 32, 9);
+  std::vector<std::vector<double>> out;
+  for (bool swizzle : {false, true}) {
+    KernelConfig config;
+    config.use_swizzle = swizzle;
+    BatchedEriEngine engine(config);
+    engine.compute_batch(key, std::span<const QuartetRef>(batch.quartets),
+                         out);
+    Timer t;
+    engine.compute_batch(key, std::span<const QuartetRef>(batch.quartets),
+                         out);
+    std::printf("  (ff|ff) batch with %-8s layout conversion: %.3f ms\n",
+                swizzle ? "swizzled" : "naive", t.seconds() * 1e3);
+  }
+  std::printf("\n");
+}
+
+void ablate_ilp() {
+  std::printf("[Ablation 7] Implicit-ILP factor sweep (256^3 FP64 GEMM)\n");
+  const std::size_t n = 256;
+  Rng rng(5);
+  std::vector<double> a(n * n), b(n * n), c(n * n);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+
+  std::printf("  %4s %12s\n", "ILP", "GFLOP/s");
+  for (int ilp : {1, 2, 4, 8, 16, 32}) {
+    GemmConfig cfg;
+    cfg.ilp = ilp;
+    gemm_fp64(a.data(), b.data(), c.data(), n, n, n, 1.0, 0.0, cfg);
+    Timer t;
+    const int reps = 4;
+    for (int r = 0; r < reps; ++r) {
+      gemm_fp64(a.data(), b.data(), c.data(), n, n, n, 1.0, 0.0, cfg);
+    }
+    std::printf("  %4d %12.2f\n", ilp,
+                reps * gemm_flops(n, n, n) / t.seconds() / 1e9);
+  }
+  std::printf("\n");
+}
+
+void ablate_batch_size() {
+  std::printf("[Ablation +] Batch-size sweep, (dd|dd) K{1,1} quartets/s\n");
+  const EriClassKey key{2, 2, 2, 2, 1, 1};
+  const CalibrationBatch batch = make_calibration_batch(key, 128, 21);
+  BatchedEriEngine engine;
+  std::vector<std::vector<double>> out;
+  std::printf("  %6s %14s\n", "batch", "quartets/s");
+  for (std::size_t bs : {1u, 4u, 16u, 64u, 128u}) {
+    std::span<const QuartetRef> slice(batch.quartets.data(), bs);
+    engine.compute_batch(key, slice, out);
+    Timer t;
+    int reps = static_cast<int>(256 / bs) + 1;
+    for (int r = 0; r < reps; ++r) engine.compute_batch(key, slice, out);
+    std::printf("  %6zu %14.0f\n", bs,
+                static_cast<double>(reps) * bs / t.seconds());
+  }
+  std::printf("\n");
+}
+
+void ablate_partitioners() {
+  std::printf("[Ablation +] Scheduling policy on a skewed Fock workload "
+              "(64 ranks)\n");
+  Rng rng(3);
+  std::vector<double> costs(20000);
+  for (auto& c : costs) c = rng.log_uniform(1e-5, 1e-2);
+  // A few heavy high-angular-momentum batches dominate.
+  for (int i = 0; i < 24; ++i) costs[i * 777 % costs.size()] = 0.35;
+
+  ClusterModel cluster;
+  struct Policy {
+    const char* name;
+    Partition part;
+  };
+  Partition blocks;
+  {
+    blocks.rank_tasks.resize(64);
+    blocks.rank_loads.assign(64, 0.0);
+    for (std::size_t t = 0; t < costs.size(); ++t) {
+      const int r = static_cast<int>(t * 64 / costs.size());
+      blocks.rank_tasks[r].push_back(t);
+      blocks.rank_loads[r] += costs[t];
+    }
+  }
+  const Policy policies[] = {
+      {"contiguous blocks", blocks},
+      {"round robin", partition_round_robin(costs, 64)},
+      {"LPT greedy (Mako)", partition_lpt(costs, 64)},
+  };
+  for (const Policy& p : policies) {
+    std::printf("  %-20s balance %.3f  efficiency %.1f%%\n", p.name,
+                p.part.balance(),
+                100.0 * parallel_efficiency(p.part, 64, 8u << 20, cluster));
+  }
+}
+
+}  // namespace
+
+int main() {
+  ablate_swizzle();
+  ablate_ilp();
+  ablate_batch_size();
+  ablate_partitioners();
+  return 0;
+}

@@ -1,0 +1,222 @@
+// [Figure 10] Scalability: ubiquitin (1,231 atoms) with def2-TZVP on 1-64
+// devices.
+//
+// The paper runs this on 8 Azure ND A100 v4 nodes (64 GPUs over HDR
+// InfiniBand) and reports >90% parallel efficiency on a single node and
+// ~70% on 64 GPUs, turning a days-long QUICK run into 58 minutes.  Per the
+// substitution rules, the cluster is simulated: the *workload* is real
+// (the synthetic-ubiquitin shell-pair structure of this repository's
+// builders, Schwarz-style screened), per-quartet costs are calibrated by
+// measuring this build's kernels and scaled to A100 rates through the
+// device model, and communication follows the NVLink/HDR-IB cost model.
+//
+// Scheduling roles:
+//   QUICK role — static contiguous block partition of bra shell pairs
+//                (cost-oblivious, the classical layout)
+//   Mako role  — LPT greedy over the statically known per-class batch costs
+//                (what CompilerMako's class registry enables)
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "accel/device.hpp"
+#include "basis/basis_data.hpp"
+#include "chem/builders.hpp"
+#include "chem/elements.hpp"
+#include "compilermako/autotuner.hpp"
+#include "kernelmako/batched_eri.hpp"
+#include "parallel/simcomm.hpp"
+#include "util/timer.hpp"
+
+namespace {
+using namespace mako;
+
+struct ShellLite {
+  int l;
+  int nprim;
+  double min_exp;
+  Vec3 center;
+};
+
+// Contiguous block partition (cost-oblivious QUICK role).
+Partition partition_blocks(const std::vector<double>& costs, int nranks) {
+  Partition p;
+  p.rank_tasks.resize(nranks);
+  p.rank_loads.assign(nranks, 0.0);
+  const std::size_t n = costs.size();
+  for (int r = 0; r < nranks; ++r) {
+    const std::size_t lo = r * n / nranks;
+    const std::size_t hi = (r + 1) * n / nranks;
+    for (std::size_t t = lo; t < hi; ++t) {
+      p.rank_tasks[r].push_back(t);
+      p.rank_loads[r] += costs[t];
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("[Figure 10] Scalability of Mako: ubiquitin-scale system, "
+              "def2-TZVP, 1-64 simulated A100s\n\n");
+
+  // --- Workload construction -----------------------------------------------
+  const Molecule protein = make_synthetic_protein(1231, 7);
+  std::vector<ShellLite> shells;
+  std::size_t nbf = 0;
+  for (const Atom& atom : protein.atoms()) {
+    const ElementBasisDef def = lookup_basis("def2-tzvp", atom.z);
+    for (const ShellDef& sd : def.shells) {
+      double min_exp = sd.exponents.front();
+      for (double e : sd.exponents) min_exp = std::min(min_exp, e);
+      shells.push_back(ShellLite{sd.l, static_cast<int>(sd.exponents.size()),
+                                 min_exp, atom.position});
+      nbf += 2 * sd.l + 1;
+    }
+  }
+  std::printf("system: %zu atoms, %zu shells, %zu basis functions\n",
+              protein.size(), shells.size(), nbf);
+
+  // --- Kernel-rate calibration ---------------------------------------------
+  // Measure one mid-size class on this host and one on the reference path,
+  // then convert through the device model so costs are in A100-seconds.
+  const DeviceSpec a100 = DeviceSpec::a100();
+  double mako_sec_per_flop, quick_sec_per_flop;
+  {
+    const EriClassKey key{2, 1, 2, 1, 3, 3};
+    const CalibrationBatch batch = make_calibration_batch(key, 16, 5);
+    BatchedEriEngine engine;
+    std::vector<std::vector<double>> out;
+    const BatchStats stats = engine.compute_batch(
+        key, std::span<const QuartetRef>(batch.quartets), out);
+    // Modeled A100 execution of the measured work.
+    const double dev_time = modeled_kernel_seconds(
+        a100, stats.work(Precision::kFP64));
+    const double flops = stats.gemm_flops + stats.scalar_flops;
+    mako_sec_per_flop = dev_time / flops;
+    // The per-quartet engine runs on CUDA cores with irregular control flow
+    // and heavy register pressure; recursive ERI kernels typically achieve
+    // ~1% of FP64 peak (cf. the paper's Section 2.4.1 critique).
+    quick_sec_per_flop = 1.0 / (0.01 * a100.cuda_peak(Precision::kFP64));
+  }
+
+  // Per-iteration work every rank replicates (Fock diagonalization + XC
+  // quadrature + density build).  Dense eigensolvers reach ~15% of tensor
+  // peak; this is the Amdahl term that caps multi-node efficiency.
+  const double replicated_seconds =
+      4.0 * std::pow(static_cast<double>(nbf), 3) /
+      (0.15 * a100.tensor_peak(Precision::kFP64));
+
+  // --- Screened shell-pair tasks -------------------------------------------
+  // Pair survives when the Gaussian-product overlap is non-negligible.
+  std::vector<std::size_t> pair_bra;
+  std::vector<double> pair_weight;  // overlap magnitude (screening proxy)
+  std::map<std::pair<int, int>, double> ket_class_flops;  // (l, k) totals
+  double total_pair_weight = 0.0;
+
+  std::vector<double> task_cost;  // one task per significant bra pair
+  {
+    Timer t;
+    // First pass: collect per-class totals of surviving pairs.
+    std::vector<std::pair<std::size_t, std::size_t>> survivors;
+    std::vector<double> weights;
+    for (std::size_t i = 0; i < shells.size(); ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        const double d = distance(shells[i].center, shells[j].center);
+        const double mu = shells[i].min_exp * shells[j].min_exp /
+                          (shells[i].min_exp + shells[j].min_exp);
+        const double k_ab = std::exp(-mu * d * d);
+        if (k_ab < 1e-8) continue;
+        survivors.emplace_back(i, j);
+        weights.push_back(k_ab);
+        total_pair_weight += k_ab;
+        const int kdeg = shells[i].nprim * shells[j].nprim;
+        // Aggregate ket-side FLOPs per (l-sum proxy, contraction) class.
+        ket_class_flops[{shells[i].l + shells[j].l, kdeg}] +=
+            k_ab;  // weight; flops folded below
+      }
+    }
+    std::printf("significant shell pairs: %zu (of %.1fM candidates, "
+                "enumerated in %.1f s)\n",
+                survivors.size(),
+                0.5e-6 * shells.size() * shells.size(), t.seconds());
+
+    // Second pass: cost of one bra-pair task = sum over ket classes of
+    // (class weight) x per-quartet GEMM flops, scaled by this pair's own
+    // screening survival.
+    task_cost.reserve(survivors.size());
+    for (std::size_t s = 0; s < survivors.size(); ++s) {
+      const auto [i, j] = survivors[s];
+      double cost_flops = 0.0;
+      for (const auto& [cls, weight_sum] : ket_class_flops) {
+        const auto& [lcd, kcd] = cls;
+        EriClassKey key;
+        key.la = shells[i].l;
+        key.lb = shells[j].l;
+        key.lc = std::min(lcd, 4);
+        key.ld = std::max(0, lcd - key.lc);
+        key.kab = shells[i].nprim * shells[j].nprim;
+        key.kcd = kcd;
+        cost_flops += weight_sum * key.gemm_flops_per_quartet();
+      }
+      task_cost.push_back(cost_flops * weights[s] * mako_sec_per_flop);
+    }
+  }
+
+  // --- Partition + efficiency across machine sizes --------------------------
+  const ClusterModel cluster;
+  const std::size_t fock_bytes = 8 * nbf * nbf;
+  const double serial_seconds =
+      [&] {
+        double s = 0.0;
+        for (double c : task_cost) s += c;
+        return s;
+      }();
+  std::printf("modeled single-A100 ERI time per SCF iteration: %.1f s\n",
+              serial_seconds);
+  std::printf("replicated per-iteration stage (diag + XC): %.1f s\n",
+              replicated_seconds);
+  std::printf("Fock allreduce payload: %.2f GB\n\n", fock_bytes / 1e9);
+
+  // eff(R) = T1 / (R * T_par), with the replicated stage running on every
+  // rank and the ERI stage partitioned.
+  auto efficiency = [&](const Partition& p, int r) {
+    const double t1 = p.total_load() + replicated_seconds;
+    const double t_par = p.max_load() + replicated_seconds +
+                         cluster.allreduce_seconds(r, fock_bytes);
+    return t1 / (r * t_par);
+  };
+
+  std::printf("%6s %18s %18s\n", "GPUs", "eff[QUICK role]", "eff[Mako]");
+  double eff8 = 0.0, eff64 = 0.0;
+  for (int r : {1, 2, 4, 8, 16, 32, 64}) {
+    const Partition quick = partition_blocks(task_cost, r);
+    const Partition mako_p = partition_lpt(task_cost, r);
+    const double eq = efficiency(quick, r);
+    const double em = efficiency(mako_p, r);
+    if (r == 8) eff8 = em;
+    if (r == 64) eff64 = em;
+    std::printf("%6d %17.1f%% %17.1f%%\n", r, 100.0 * eq, 100.0 * em);
+  }
+
+  // --- End-to-end projection -------------------------------------------------
+  const int scf_iterations = 15;
+  const Partition p64 = partition_lpt(task_cost, 64);
+  const double mako_64 =
+      scf_iterations * (p64.max_load() + replicated_seconds +
+                        cluster.allreduce_seconds(64, fock_bytes));
+  const double quick_1 =
+      scf_iterations * (serial_seconds *
+                            (quick_sec_per_flop / mako_sec_per_flop) +
+                        replicated_seconds);
+  std::printf("\nprojected end-to-end (%d SCF iterations):\n",
+              scf_iterations);
+  std::printf("  QUICK role, 1 GPU : %8.1f hours\n", quick_1 / 3600.0);
+  std::printf("  Mako, 64 GPUs     : %8.1f minutes\n", mako_64 / 60.0);
+  std::printf("\npaper: >90%% efficiency on 8 GPUs (got %.0f%%), ~70%% on 64 "
+              "(got %.0f%%); days -> 58 minutes end-to-end.\n",
+              100.0 * eff8, 100.0 * eff64);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// [Figure 8] End-to-end SCF iteration time vs system size.
+//
+// Polyglycine chains (linear) and water clusters (globular) of increasing
+// size at def2-TZVP and def2-QZVP structural level, comparing Mako against
+// the per-quartet reference engine (GPU4PySCF role).  Metric: average SCF
+// iteration time excluding the first iteration, exactly as the paper
+// measures.  The expected shape: Mako faster everywhere, with the margin
+// widening on the higher-angular-momentum basis.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "basis/basis_set.hpp"
+#include "chem/builders.hpp"
+#include "scf/scf.hpp"
+
+namespace {
+using namespace mako;
+
+double avg_iteration_seconds(const Molecule& mol, const std::string& basis,
+                             EriEngineKind engine, int iterations) {
+  const BasisSet bs(mol, basis);
+  ScfOptions options;
+  options.fock.engine = engine;
+  options.fixed_iterations = iterations;
+  const ScfResult r = run_scf(mol, bs, options);
+  return r.avg_iteration_seconds();
+}
+
+void run_system(const char* name, const Molecule& mol,
+                const std::string& basis) {
+  const BasisSet bs(mol, basis);
+  const double t_ref =
+      avg_iteration_seconds(mol, basis, EriEngineKind::kReference, 2);
+  const double t_mako =
+      avg_iteration_seconds(mol, basis, EriEngineKind::kMako, 2);
+  std::printf("%-14s %-10s %6zu %6zu %13.3f %13.3f %8.2fx\n", name,
+              basis.c_str(), mol.size(), bs.nbf(), t_ref, t_mako,
+              t_ref / t_mako);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Default sizes fit a single-core budget; pass a larger argument to sweep
+  // bigger systems (cost grows as the fourth power of system size).
+  const int max_water = (argc > 1) ? std::atoi(argv[1]) : 2;
+  const int max_gly = (argc > 1) ? std::atoi(argv[1]) : 1;
+
+  std::printf("[Figure 8] End-to-end average SCF iteration time "
+              "(excluding the first iteration)\n");
+  std::printf("%-14s %-10s %6s %6s %13s %13s %8s\n", "system", "basis",
+              "atoms", "nbf", "t[ref] s", "t[mako] s", "speedup");
+
+  // Linear systems: polyglycine chains.
+  for (int n = 1; n <= max_gly; ++n) {
+    const Molecule gly = make_polyglycine(n);
+    const std::string name = "(gly)_" + std::to_string(n);
+    run_system(name.c_str(), gly, "def2-tzvp");
+  }
+
+  // Globular systems: water clusters.
+  for (int n = 1; n <= max_water; ++n) {
+    const Molecule w = make_water_cluster(n, 7);
+    const std::string name = "water_" + std::to_string(n);
+    run_system(name.c_str(), w, "def2-tzvp");
+  }
+
+  // Higher angular momentum: def2-QZVP on the smallest systems.
+  run_system("water_1", make_water(), "def2-qzvp");
+
+  std::printf("\npaper shape: Mako leads throughout, and the margin grows "
+              "from TZVP to QZVP as g-function GEMMs dominate.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// [Table 3] Mean absolute error of converged B3LYP total energies.
+//
+// The paper compares Mako's converged energies against four independent
+// packages (Psi4, PySCF, QUICK, GPU4PySCF) over a 200+-molecule suite and
+// finds every MAE within 1 mHartree (chemical accuracy).  The packages are
+// external closed ecosystems; per the substitution rules each "role" here is
+// an independently configured implementation path inside this repository:
+//
+//   Psi4 role      — per-quartet reference ERI engine, tight settings
+//   PySCF role     — Mako batched engine, FP64, default settings
+//   QUICK role     — reference engine with looser integral screening
+//   GPU4PySCF role — Mako engine with a finer XC grid
+//
+// The production configuration under test is Mako with QuantMako
+// quantization enabled.  All roles run the identical molecule suite.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "basis/basis_set.hpp"
+#include "chem/dataset.hpp"
+#include "scf/scf.hpp"
+
+namespace {
+using namespace mako;
+
+double converged_energy(const Molecule& mol, const ScfOptions& options) {
+  const BasisSet basis(mol, "sto-3g");
+  const ScfResult r = run_scf(mol, basis, options);
+  return r.converged ? r.energy : std::nan("");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t max_entries =
+      (argc > 1) ? std::strtoul(argv[1], nullptr, 10) : 18;
+  const std::size_t max_atoms = 8;
+
+  // Select small members of the accuracy suite (runtime budget on one core).
+  std::vector<DatasetEntry> suite;
+  for (const DatasetEntry& e : build_accuracy_dataset()) {
+    if (e.molecule.size() <= max_atoms && suite.size() < max_entries) {
+      // Transition-metal complexes need heavier bases; keep organics here.
+      bool light = true;
+      for (const Atom& a : e.molecule.atoms()) light &= (a.z <= 10);
+      if (light) suite.push_back(e);
+    }
+  }
+  std::printf("[Table 3] MAE of converged B3LYP total energies, %zu-molecule "
+              "suite (B3LYP/STO-3G)\n",
+              suite.size());
+
+  ScfOptions mako_quant;  // the configuration under test
+  mako_quant.xc = XcFunctional(XcKind::kB3LYP);
+  mako_quant.grid = GridSpec::standard();
+  mako_quant.enable_quantization = true;
+
+  ScfOptions psi4_role;  // independent integral path, tight settings
+  psi4_role.xc = mako_quant.xc;
+  psi4_role.grid = mako_quant.grid;
+  psi4_role.fock.engine = EriEngineKind::kReference;
+  psi4_role.prune_threshold = 1e-13;
+  psi4_role.energy_convergence = 1e-9;
+
+  ScfOptions pyscf_role;  // Mako FP64 defaults
+  pyscf_role.xc = mako_quant.xc;
+  pyscf_role.grid = mako_quant.grid;
+
+  ScfOptions quick_role;  // looser integral screening
+  quick_role.xc = mako_quant.xc;
+  quick_role.grid = mako_quant.grid;
+  quick_role.fock.engine = EriEngineKind::kReference;
+  quick_role.fock.max_engine_l = 3;
+  quick_role.prune_threshold = 1e-9;
+
+  ScfOptions gpu4pyscf_role;  // finer XC grid
+  gpu4pyscf_role.xc = mako_quant.xc;
+  gpu4pyscf_role.grid = GridSpec::fine();
+
+  struct Role {
+    const char* name;
+    const ScfOptions* options;
+    double mae = 0.0;
+    int counted = 0;
+  };
+  Role roles[] = {{"Psi4-role", &psi4_role},
+                  {"PySCF-role", &pyscf_role},
+                  {"QUICK-role", &quick_role},
+                  {"GPU4PySCF-role", &gpu4pyscf_role}};
+
+  for (const DatasetEntry& entry : suite) {
+    const double e_mako = converged_energy(entry.molecule, mako_quant);
+    if (std::isnan(e_mako)) {
+      std::printf("  skipping %s (did not converge)\n", entry.name.c_str());
+      continue;
+    }
+    for (Role& role : roles) {
+      const double e_role = converged_energy(entry.molecule, *role.options);
+      if (std::isnan(e_role)) continue;
+      role.mae += std::fabs(e_mako - e_role);
+      ++role.counted;
+    }
+  }
+
+  std::printf("\n%-16s %18s %10s\n", "comparison", "MAE [mHartree]",
+              "<1 mEh?");
+  bool all_pass = true;
+  for (Role& role : roles) {
+    const double mae_mh =
+        (role.counted > 0) ? role.mae / role.counted * 1e3 : 0.0;
+    const bool pass = mae_mh < 1.0;
+    all_pass &= pass;
+    std::printf("%-16s %18.4f %10s\n", role.name, mae_mh,
+                pass ? "yes" : "NO");
+  }
+  std::printf("\npaper (vs Mako): Psi4 0.023, PySCF 0.004, QUICK 0.086, "
+              "GPU4PySCF 0.004 mHartree\n");
+  std::printf("chemical accuracy criterion satisfied: %s\n",
+              all_pass ? "YES" : "NO");
+  return all_pass ? 0 : 1;
+}

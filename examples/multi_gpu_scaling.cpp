@@ -1,0 +1,67 @@
+// Multi-device scaling walkthrough on the simulated cluster: partitions a
+// real Fock workload (shell-pair tasks with measured cost structure) across
+// 1..64 ranks and reports the modeled parallel efficiency — a small-scale
+// version of the Fig-10 experiment (see bench_fig10_scaling for the
+// ubiquitin-sized run).
+//
+//   $ ./multi_gpu_scaling
+#include <cstdio>
+
+#include "basis/basis_set.hpp"
+#include "chem/builders.hpp"
+#include "integrals/eri_reference.hpp"
+#include "integrals/schwarz.hpp"
+#include "parallel/simcomm.hpp"
+
+int main() {
+  using namespace mako;
+
+  // Workload: a 8-water cluster at def2-TZVP-level shell structure.
+  const Molecule mol = make_water_cluster(8, 3);
+  const BasisSet basis(mol, "def2-tzvp");
+  std::printf("workload: %zu atoms, %zu shells, %zu basis functions\n",
+              mol.size(), basis.num_shells(), basis.nbf());
+
+  // Task costs: one task per bra shell pair; cost = sum over ket pairs of
+  // the per-quartet FLOP estimate, zeroing Schwarz-negligible ket pairs.
+  const MatrixD q = schwarz_bounds(basis);
+  const auto& shells = basis.shells();
+  std::vector<double> pair_cost;
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t i = 0; i < shells.size(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      if (q(i, j) < 1e-10) continue;
+      pairs.emplace_back(i, j);
+    }
+  }
+  pair_cost.reserve(pairs.size());
+  for (const auto& [i, j] : pairs) {
+    double cost = 0.0;
+    for (const auto& [k, l] : pairs) {
+      if (q(i, j) * q(k, l) < 1e-10) continue;
+      cost += ReferenceEriEngine::quartet_flop_estimate(
+          shells[i].l, shells[j].l, shells[k].l, shells[l].l,
+          shells[i].nprim() * shells[j].nprim(),
+          shells[k].nprim() * shells[l].nprim());
+    }
+    pair_cost.push_back(cost * 1e-12);  // FLOPs -> seconds at ~1 TFLOP/s
+  }
+  std::printf("significant bra shell pairs (tasks): %zu\n\n", pairs.size());
+
+  const std::size_t fock_bytes = 8 * basis.nbf() * basis.nbf();
+  const ClusterModel cluster;
+
+  std::printf("%6s %16s %16s %12s\n", "ranks", "eff[round-robin]",
+              "eff[LPT greedy]", "balance[LPT]");
+  for (int r : {1, 2, 4, 8, 16, 32, 64}) {
+    const Partition rr = partition_round_robin(pair_cost, r);
+    const Partition lpt = partition_lpt(pair_cost, r);
+    std::printf("%6d %15.1f%% %15.1f%% %11.3f\n", r,
+                100.0 * parallel_efficiency(rr, r, fock_bytes, cluster),
+                100.0 * parallel_efficiency(lpt, r, fock_bytes, cluster),
+                lpt.balance());
+  }
+  std::printf("\nLPT scheduling (enabled by Mako's statically known batch "
+              "costs) sustains higher efficiency at scale.\n");
+  return 0;
+}

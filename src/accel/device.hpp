@@ -1,0 +1,68 @@
+// AI-accelerator device model.
+//
+// Substitutes for the physical A100 in this environment: it carries the
+// architectural parameters Mako's planner needs (shared-memory capacity,
+// warp size, per-precision peak throughput from Table 1 of the paper) and an
+// analytic roofline that converts kernel work into modeled execution time.
+// CompilerMako consumes the architectural constraints; the benchmark
+// harnesses report modeled device times next to measured host times.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/precision.hpp"
+
+namespace mako {
+
+/// Architectural description of an accelerator.
+struct DeviceSpec {
+  std::string name = "A100-SXM4-40GB";
+  int num_sms = 108;
+  int warp_size = 32;
+  std::size_t smem_per_sm_bytes = 164 * 1024;  ///< max SMEM per threadblock
+  int smem_banks = 32;
+  int smem_bank_width_bytes = 4;
+  double hbm_bandwidth_bps = 1.555e12;  ///< 1555 GB/s
+  double kernel_launch_latency_s = 4e-6;
+
+  // Peak throughput in FLOP/s (Table 1 of the paper).
+  double tensor_fp64_flops = 19.5e12;
+  double tensor_tf32_flops = 156e12;
+  double tensor_fp16_flops = 312e12;
+  double cuda_fp64_flops = 9.7e12;
+  double cuda_fp32_flops = 19.5e12;
+  double cuda_fp16_flops = 78e12;
+
+  /// Tensor-core peak for a precision mode.
+  [[nodiscard]] double tensor_peak(Precision p) const noexcept;
+  /// CUDA-core (general-purpose) peak for a precision mode.
+  [[nodiscard]] double cuda_peak(Precision p) const noexcept;
+
+  /// The paper's Eq. 13 occupancy constraint: a fusion plan must keep its
+  /// live shared-memory footprint within half the SMEM so at least two
+  /// thread blocks stay resident per SM.
+  [[nodiscard]] std::size_t fusion_smem_budget() const noexcept {
+    return smem_per_sm_bytes / 2;
+  }
+
+  /// Built-in device catalogue for portability experiments.
+  static DeviceSpec a100();
+  static DeviceSpec v100();
+  static DeviceSpec h100();
+};
+
+/// Work description of one kernel invocation.
+struct KernelWork {
+  double matmul_flops = 0.0;      ///< FLOPs executed on tensor cores
+  double scalar_flops = 0.0;      ///< FLOPs on general-purpose cores
+  double global_bytes = 0.0;      ///< DRAM traffic (read + write)
+  int kernel_launches = 1;        ///< number of device kernel launches
+  Precision precision = Precision::kFP64;
+};
+
+/// Roofline estimate of kernel time on the device: compute and memory phases
+/// overlap (max), launches serialize (sum).
+double modeled_kernel_seconds(const DeviceSpec& device, const KernelWork& work);
+
+}  // namespace mako

@@ -1,0 +1,51 @@
+#include "accel/tile_buffer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace mako {
+
+template <typename T>
+int TileBuffer<T>::warp_transactions(
+    const std::vector<std::pair<std::size_t, std::size_t>>& coords) const {
+  // Map each accessed element to (bank, word); same-word hits broadcast.
+  std::map<int, std::set<std::size_t>> words_per_bank;
+  for (const auto& [x, y] : coords) {
+    const std::size_t word =
+        physical_index(x, y) * sizeof(T) / bank_width_bytes_;
+    words_per_bank[static_cast<int>(word % banks_)].insert(word);
+  }
+  int transactions = 1;
+  for (const auto& [bank, words] : words_per_bank) {
+    transactions = std::max(transactions, static_cast<int>(words.size()));
+  }
+  return transactions;
+}
+
+template <typename T>
+int TileBuffer<T>::column_access_transactions(std::size_t col) const {
+  std::vector<std::pair<std::size_t, std::size_t>> coords;
+  const std::size_t lanes = std::min<std::size_t>(32, height_);
+  coords.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    coords.emplace_back(col, lane);
+  }
+  return warp_transactions(coords);
+}
+
+template <typename T>
+int TileBuffer<T>::row_access_transactions(std::size_t row) const {
+  std::vector<std::pair<std::size_t, std::size_t>> coords;
+  const std::size_t lanes = std::min<std::size_t>(32, width_);
+  coords.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    coords.emplace_back(lane, row);
+  }
+  return warp_transactions(coords);
+}
+
+template class TileBuffer<float>;
+template class TileBuffer<double>;
+
+}  // namespace mako

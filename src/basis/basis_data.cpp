@@ -1,0 +1,217 @@
+#include "basis/basis_data.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "basis/even_tempered.hpp"
+#include "chem/elements.hpp"
+
+namespace mako {
+namespace {
+
+std::string normalize_name(std::string name) {
+  std::transform(name.begin(), name.end(), name.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return name;
+}
+
+// --- STO-3G (real published data) -------------------------------------------
+//
+// STO-3G was published as universal least-squares fits of each STO shell to
+// three Gaussians, with per-element Slater zeta scaling alpha_i = zeta^2 *
+// alpha_fit_i.  The 1s and 2sp fit exponents/coefficients and the zeta values
+// below reproduce the Basis Set Exchange tables exactly (e.g. oxygen 1s:
+// 2.227660584 * 7.66^2 = 130.70932).
+
+constexpr double k1sFitExp[3] = {2.227660584, 0.405771156, 0.109818};
+constexpr double k1sFitCoef[3] = {0.154328967, 0.535328142, 0.444634542};
+
+constexpr double k2spFitExp[3] = {0.994203, 0.231031, 0.0751386};
+constexpr double k2sFitCoef[3] = {-0.099967229, 0.399512826, 0.700115469};
+constexpr double k2pFitCoef[3] = {0.155916275, 0.607683719, 0.391957393};
+
+// Slater exponents: zeta(1s) for Z=1..10, zeta(2sp) for Z=3..10.
+constexpr double kZeta1s[11] = {0,    1.24, 1.69, 2.69, 3.68, 4.68,
+                                5.67, 6.67, 7.66, 8.65, 9.64};
+constexpr double kZeta2sp[11] = {0, 0,    0,    0.80, 1.15, 1.50,
+                                 1.72, 1.95, 2.25, 2.55, 2.88};
+
+ElementBasisDef sto3g(int z) {
+  ElementBasisDef def;
+  if (z < 1) throw std::out_of_range("sto-3g: bad element");
+  if (z <= 10) {
+    const double zeta1 = kZeta1s[z];
+    ShellDef s1;
+    s1.l = 0;
+    for (int i = 0; i < 3; ++i) {
+      s1.exponents.push_back(k1sFitExp[i] * zeta1 * zeta1);
+      s1.coefficients.push_back(k1sFitCoef[i]);
+    }
+    def.shells.push_back(std::move(s1));
+
+    if (z >= 3) {
+      const double zeta2 = kZeta2sp[z];
+      ShellDef s2, p2;
+      s2.l = 0;
+      p2.l = 1;
+      for (int i = 0; i < 3; ++i) {
+        const double e = k2spFitExp[i] * zeta2 * zeta2;
+        s2.exponents.push_back(e);
+        s2.coefficients.push_back(k2sFitCoef[i]);
+        p2.exponents.push_back(e);
+        p2.coefficients.push_back(k2pFitCoef[i]);
+      }
+      def.shells.push_back(std::move(s2));
+      def.shells.push_back(std::move(p2));
+    }
+    return def;
+  }
+
+  // Z > 10: real STO-3G tables are not embedded; build a minimal basis with
+  // the correct shell structure (documented substitution — the accuracy
+  // experiments compare implementations against each other on identical
+  // inputs, so only internal consistency matters for these elements).
+  const double zeff = static_cast<double>(z);
+  auto add_sp = [&def](double zeta, bool with_p) {
+    ShellDef s;
+    s.l = 0;
+    for (int i = 0; i < 3; ++i) {
+      s.exponents.push_back(k2spFitExp[i] * zeta * zeta);
+      s.coefficients.push_back(k2sFitCoef[i]);
+    }
+    def.shells.push_back(s);
+    if (with_p) {
+      ShellDef p;
+      p.l = 1;
+      for (int i = 0; i < 3; ++i) {
+        p.exponents.push_back(k2spFitExp[i] * zeta * zeta);
+        p.coefficients.push_back(k2pFitCoef[i]);
+      }
+      def.shells.push_back(p);
+    }
+  };
+
+  // 1s core.
+  ShellDef s1;
+  s1.l = 0;
+  const double zeta1 = zeff - 0.3;
+  for (int i = 0; i < 3; ++i) {
+    s1.exponents.push_back(k1sFitExp[i] * zeta1 * zeta1);
+    s1.coefficients.push_back(k1sFitCoef[i]);
+  }
+  def.shells.push_back(std::move(s1));
+  // 2sp, 3sp, (4sp) with screened zetas (Slater rules flavour).
+  add_sp(0.65 * (zeff - 4.15), true);
+  if (z >= 11) add_sp(std::max(0.8, 0.35 * (zeff - 10.0) + 1.0), true);
+  if (z >= 19) add_sp(std::max(0.7, 0.25 * (zeff - 18.0) + 0.8), true);
+  if (z >= 21) {
+    // 3d shell for transition metals.
+    ShellDef d;
+    d.l = 2;
+    const double zd = std::max(1.2, 0.4 * (zeff - 18.0) + 1.2);
+    for (int i = 0; i < 3; ++i) {
+      d.exponents.push_back(k2spFitExp[i] * zd * zd * 2.0);
+      d.coefficients.push_back(k2pFitCoef[i]);
+    }
+    def.shells.push_back(std::move(d));
+  }
+  return def;
+}
+
+// --- 6-31G (real published data for H, C, N, O) ------------------------------
+
+ElementBasisDef six31g(int z) {
+  ElementBasisDef def;
+  auto shell = [](int l, std::initializer_list<double> exps,
+                  std::initializer_list<double> coefs) {
+    ShellDef s;
+    s.l = l;
+    s.exponents = exps;
+    s.coefficients = coefs;
+    return s;
+  };
+
+  switch (z) {
+    case 1:
+      def.shells.push_back(shell(0, {18.7311370, 2.8253937, 0.6401217},
+                                 {0.03349460, 0.23472695, 0.81375733}));
+      def.shells.push_back(shell(0, {0.1612778}, {1.0}));
+      return def;
+    case 6:
+      def.shells.push_back(shell(
+          0,
+          {3047.5249, 457.36951, 103.94869, 29.210155, 9.2866630, 3.1639270},
+          {0.0018347, 0.0140373, 0.0688426, 0.2321844, 0.4679413, 0.3623120}));
+      def.shells.push_back(shell(0, {7.8682724, 1.8812885, 0.5442493},
+                                 {-0.1193324, -0.1608542, 1.1434564}));
+      def.shells.push_back(shell(1, {7.8682724, 1.8812885, 0.5442493},
+                                 {0.0689991, 0.3164240, 0.7443083}));
+      def.shells.push_back(shell(0, {0.1687144}, {1.0}));
+      def.shells.push_back(shell(1, {0.1687144}, {1.0}));
+      return def;
+    case 7:
+      def.shells.push_back(shell(
+          0,
+          {4173.5110, 627.45790, 142.90210, 40.234330, 12.820210, 4.3904370},
+          {0.00183477, 0.0139946, 0.0685866, 0.2322410, 0.4690700, 0.3604550}));
+      def.shells.push_back(shell(0, {11.626358, 2.7162800, 0.7722180},
+                                 {-0.1149610, -0.1691180, 1.1458520}));
+      def.shells.push_back(shell(1, {11.626358, 2.7162800, 0.7722180},
+                                 {0.0675800, 0.3239070, 0.7408950}));
+      def.shells.push_back(shell(0, {0.2120313}, {1.0}));
+      def.shells.push_back(shell(1, {0.2120313}, {1.0}));
+      return def;
+    case 8:
+      def.shells.push_back(shell(
+          0,
+          {5484.6717, 825.23495, 188.04696, 52.964500, 16.897570, 5.7996353},
+          {0.0018311, 0.0139501, 0.0684451, 0.2327143, 0.4701930, 0.3585209}));
+      def.shells.push_back(shell(0, {15.539616, 3.5999336, 1.0137618},
+                                 {-0.1107775, -0.1480263, 1.1307670}));
+      def.shells.push_back(shell(1, {15.539616, 3.5999336, 1.0137618},
+                                 {0.0708743, 0.3397528, 0.7271586}));
+      def.shells.push_back(shell(0, {0.2700058}, {1.0}));
+      def.shells.push_back(shell(1, {0.2700058}, {1.0}));
+      return def;
+    default:
+      // Other elements fall back to STO-3G structure (substitution).
+      return sto3g(z);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> available_basis_sets() {
+  return {"sto-3g",  "6-31g",   "def2-svp", "def2-tzvp", "def2-qzvp",
+          "cc-pvtz", "cc-pvqz"};
+}
+
+ElementBasisDef lookup_basis(const std::string& basis_name, int z) {
+  const std::string name = normalize_name(basis_name);
+  if (z < 1 || z > kMaxZ) {
+    throw std::out_of_range("lookup_basis: element out of range");
+  }
+  if (name == "sto-3g") return sto3g(z);
+  if (name == "6-31g") return six31g(z);
+  if (name == "def2-svp" || name == "def2-tzvp" || name == "def2-qzvp" ||
+      name == "cc-pvtz" || name == "cc-pvqz") {
+    return make_synthetic_basis(name, z);
+  }
+  throw std::out_of_range("unknown basis set: " + basis_name);
+}
+
+bool basis_has_g_functions(const std::string& basis_name) {
+  const std::string name = normalize_name(basis_name);
+  return name == "def2-qzvp" || name == "cc-pvqz";
+}
+
+int basis_max_l(const std::string& basis_name, int z) {
+  const ElementBasisDef def = lookup_basis(basis_name, z);
+  int lmax = 0;
+  for (const auto& s : def.shells) lmax = std::max(lmax, s.l);
+  return lmax;
+}
+
+}  // namespace mako

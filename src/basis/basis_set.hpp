@@ -1,0 +1,71 @@
+// Molecular basis set: shells instantiated on atomic centers with normalized
+// contraction coefficients, plus the AO indexing used by every integral
+// engine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "basis/basis_data.hpp"
+#include "chem/molecule.hpp"
+
+namespace mako {
+
+/// One contracted shell placed on an atom.  Coefficients already include the
+/// primitive normalization and the contracted-shell normalization, so the
+/// Cartesian x^l component (and every spherical component after the
+/// cart->sph transform) has unit self-overlap.
+struct Shell {
+  int l = 0;
+  std::size_t atom = 0;
+  Vec3 center{0, 0, 0};
+  std::vector<double> exponents;
+  std::vector<double> coefficients;
+  std::size_t sph_offset = 0;  ///< first spherical AO index of this shell
+
+  [[nodiscard]] int nprim() const noexcept {
+    return static_cast<int>(exponents.size());
+  }
+  [[nodiscard]] int num_sph() const noexcept { return 2 * l + 1; }
+  [[nodiscard]] int num_cart() const noexcept {
+    return (l + 1) * (l + 2) / 2;
+  }
+};
+
+/// Normalization factor of a primitive Cartesian Gaussian x^l e^{-a r^2}.
+double primitive_norm(double exponent, int l);
+
+/// Applies primitive + contracted normalization to a raw shell in place
+/// (the same procedure BasisSet applies when instantiating a basis).
+void normalize_shell(Shell& shell);
+
+/// A full molecular basis.
+class BasisSet {
+ public:
+  /// Instantiates `basis_name` on every atom of `mol`.
+  /// Throws on unknown basis names or unsupported elements.
+  BasisSet(const Molecule& mol, const std::string& basis_name);
+
+  [[nodiscard]] const std::vector<Shell>& shells() const noexcept {
+    return shells_;
+  }
+  [[nodiscard]] std::size_t num_shells() const noexcept {
+    return shells_.size();
+  }
+  /// Total number of (spherical) basis functions.
+  [[nodiscard]] std::size_t nbf() const noexcept { return nbf_; }
+  [[nodiscard]] int max_l() const noexcept { return max_l_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Shells sorted into angular-momentum classes; class key = l.  Mako's
+  /// batched engines and CompilerMako group work this way.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> shells_by_l() const;
+
+ private:
+  std::string name_;
+  std::vector<Shell> shells_;
+  std::size_t nbf_ = 0;
+  int max_l_ = 0;
+};
+
+}  // namespace mako

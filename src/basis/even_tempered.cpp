@@ -1,0 +1,257 @@
+#include "basis/even_tempered.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mako {
+namespace {
+
+enum class Row { kH, kFirst, kSecond, kThird };
+
+Row element_row(int z) {
+  if (z <= 2) return Row::kH;
+  if (z <= 10) return Row::kFirst;
+  if (z <= 18) return Row::kSecond;
+  return Row::kThird;
+}
+
+// Shell compositions mirror the published basis sets:
+//   def2-TZVP  H: 5s1p/[3s1p]          C-row: 11s6p2d1f/[5s3p2d1f]
+//   def2-QZVP  H: 7s3p2d1f/[4s3p2d1f]  C-row: 15s8p3d2f1g/[7s4p3d2f1g]
+//   cc-pVTZ    H: 5s2p1d/[3s2p1d]      C-row: 10s5p2d1f/[4s3p2d1f]
+//   cc-pVQZ    H: 6s3p2d1f/[4s3p2d1f]  C-row: 12s6p3d2f1g/[5s4p3d2f1g]
+// Heavier rows gain one extra steep s/p shell and, for the transition-metal
+// row, contracted d shells (as def2 does).
+CompositionSpec composition_impl(const std::string& family, Row row) {
+  CompositionSpec c;
+  c.degrees.resize(5);
+  auto& s = c.degrees[0];
+  auto& p = c.degrees[1];
+  auto& d = c.degrees[2];
+  auto& f = c.degrees[3];
+  auto& g = c.degrees[4];
+
+  if (family == "def2-svp") {
+    switch (row) {
+      case Row::kH:
+        s = {3, 1};
+        p = {1};
+        break;
+      case Row::kFirst:
+        s = {5, 1, 1};
+        p = {3, 1};
+        d = {1};
+        break;
+      case Row::kSecond:
+        s = {5, 3, 1, 1};
+        p = {5, 1, 1};
+        d = {1};
+        break;
+      case Row::kThird:
+        s = {5, 3, 2, 1, 1};
+        p = {5, 2, 1};
+        d = {4, 1};
+        break;
+    }
+  } else if (family == "def2-tzvp") {
+    switch (row) {
+      case Row::kH:
+        s = {3, 1, 1};
+        p = {1};
+        break;
+      case Row::kFirst:
+        s = {6, 2, 1, 1, 1};
+        p = {4, 1, 1};
+        d = {1, 1};
+        f = {1};
+        break;
+      case Row::kSecond:
+        s = {6, 3, 2, 1, 1};
+        p = {5, 1, 1};
+        d = {1, 1};
+        f = {1};
+        break;
+      case Row::kThird:
+        s = {7, 3, 2, 1, 1, 1};
+        p = {5, 2, 1, 1};
+        d = {4, 1, 1};
+        f = {1};
+        break;
+    }
+  } else if (family == "def2-qzvp") {
+    switch (row) {
+      case Row::kH:
+        s = {4, 1, 1, 1};
+        p = {1, 1, 1};
+        d = {1, 1};
+        f = {1};
+        break;
+      case Row::kFirst:
+        s = {8, 2, 1, 1, 1, 1, 1};
+        p = {5, 1, 1, 1};
+        d = {1, 1, 1};
+        f = {1, 1};
+        g = {1};
+        break;
+      case Row::kSecond:
+        s = {9, 3, 1, 1, 1, 1, 1};
+        p = {6, 1, 1, 1};
+        d = {1, 1, 1};
+        f = {1, 1};
+        g = {1};
+        break;
+      case Row::kThird:
+        s = {10, 4, 2, 1, 1, 1, 1, 1};
+        p = {7, 2, 1, 1};
+        d = {5, 1, 1, 1};
+        f = {1, 1};
+        g = {1};
+        break;
+    }
+  } else if (family == "cc-pvtz") {
+    switch (row) {
+      case Row::kH:
+        s = {3, 1, 1};
+        p = {1, 1};
+        d = {1};
+        break;
+      case Row::kFirst:
+        s = {8, 2, 1, 1};
+        p = {3, 1, 1};
+        d = {1, 1};
+        f = {1};
+        break;
+      case Row::kSecond:
+        s = {9, 3, 1, 1};
+        p = {4, 1, 1};
+        d = {1, 1};
+        f = {1};
+        break;
+      case Row::kThird:
+        s = {10, 3, 2, 1, 1};
+        p = {5, 2, 1};
+        d = {4, 1, 1};
+        f = {1};
+        break;
+    }
+  } else if (family == "cc-pvqz") {
+    switch (row) {
+      case Row::kH:
+        s = {3, 1, 1, 1};
+        p = {1, 1, 1};
+        d = {1, 1};
+        f = {1};
+        break;
+      case Row::kFirst:
+        s = {9, 3, 1, 1, 1};
+        p = {4, 1, 1, 1};
+        d = {1, 1, 1};
+        f = {1, 1};
+        g = {1};
+        break;
+      case Row::kSecond:
+        s = {10, 4, 1, 1, 1};
+        p = {5, 1, 1, 1};
+        d = {1, 1, 1};
+        f = {1, 1};
+        g = {1};
+        break;
+      case Row::kThird:
+        s = {11, 4, 2, 1, 1, 1};
+        p = {6, 2, 1, 1};
+        d = {5, 1, 1, 1};
+        f = {1, 1};
+        g = {1};
+        break;
+    }
+  } else {
+    throw std::out_of_range("unknown synthetic basis family: " + family);
+  }
+  return c;
+}
+
+// Exponent ladder limits per angular momentum.  Steep limits scale with the
+// nuclear charge as core exponents do; diffuse limits stay near the valence
+// range.  QZ-quality sets reach further in both directions.
+void exponent_range(const std::string& family, int z, int l, double& lo,
+                    double& hi) {
+  const double zz = static_cast<double>(z);
+  const bool qz = (family == "def2-qzvp" || family == "cc-pvqz");
+  switch (l) {
+    case 0:
+      hi = (qz ? 1800.0 : 420.0) * zz * zz;
+      lo = 0.05 + 0.01 * zz;
+      break;
+    case 1:
+      hi = (qz ? 30.0 : 12.0) * zz * zz / 4.0;
+      lo = 0.06 + 0.01 * zz;
+      break;
+    case 2:
+      hi = (qz ? 12.0 : 5.0) * zz;
+      lo = 0.15;
+      break;
+    case 3:
+      hi = (qz ? 4.0 : 2.0) * std::sqrt(zz);
+      lo = 0.25;
+      break;
+    default:  // g
+      hi = 2.0 * std::sqrt(zz);
+      lo = 0.45;
+      break;
+  }
+  if (hi <= lo * 1.5) hi = lo * 4.0;
+}
+
+}  // namespace
+
+CompositionSpec family_composition(const std::string& family, int z) {
+  return composition_impl(family, element_row(z));
+}
+
+ElementBasisDef make_synthetic_basis(const std::string& family, int z) {
+  const CompositionSpec spec = family_composition(family, z);
+  ElementBasisDef def;
+
+  for (int l = 0; l < static_cast<int>(spec.degrees.size()); ++l) {
+    const auto& degrees = spec.degrees[l];
+    if (degrees.empty()) continue;
+    const int nprim = std::accumulate(degrees.begin(), degrees.end(), 0);
+
+    double lo, hi;
+    exponent_range(family, z, l, lo, hi);
+    // Geometric (even-tempered) ladder from steep to diffuse.
+    std::vector<double> ladder(nprim);
+    if (nprim == 1) {
+      ladder[0] = std::sqrt(lo * hi);
+    } else {
+      const double beta =
+          std::pow(hi / lo, 1.0 / static_cast<double>(nprim - 1));
+      for (int i = 0; i < nprim; ++i) {
+        ladder[i] = hi / std::pow(beta, static_cast<double>(i));
+      }
+    }
+
+    int cursor = 0;
+    for (int deg : degrees) {
+      ShellDef shell;
+      shell.l = l;
+      for (int i = 0; i < deg; ++i) {
+        shell.exponents.push_back(ladder[cursor + i]);
+        // Smooth bell-shaped contraction profile peaking mid-shell; this
+        // mimics the qualitative weight distribution of optimized core
+        // contractions and keeps the overlap matrix well conditioned.
+        const double t =
+            (deg == 1) ? 0.0
+                       : (static_cast<double>(i) - 0.5 * (deg - 1)) /
+                             (0.45 * deg);
+        shell.coefficients.push_back(std::exp(-t * t));
+      }
+      cursor += deg;
+      def.shells.push_back(std::move(shell));
+    }
+  }
+  return def;
+}
+
+}  // namespace mako

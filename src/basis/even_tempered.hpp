@@ -1,0 +1,37 @@
+// Even-tempered synthetic basis generator.
+//
+// Builds structural variants of the def2/cc basis families: the per-element
+// shell composition (number of shells per angular momentum and their
+// contraction degrees) matches the published basis sets, while the exponents
+// follow an even-tempered geometric ladder.  ERI cost is a function of that
+// structure only, so the performance experiments of Figures 8/9 are faithful.
+#pragma once
+
+#include <string>
+
+#include "basis/basis_data.hpp"
+
+namespace mako {
+
+/// Per-angular-momentum shell composition: degrees[l] lists the contraction
+/// degree of each shell with angular momentum l (steepest primitives first).
+struct CompositionSpec {
+  std::vector<std::vector<int>> degrees;
+
+  [[nodiscard]] int max_l() const {
+    for (int l = static_cast<int>(degrees.size()); l-- > 0;) {
+      if (!degrees[l].empty()) return l;
+    }
+    return -1;
+  }
+};
+
+/// Composition of `family` ("def2-tzvp", "def2-qzvp", "cc-pvtz", "cc-pvqz")
+/// for element z.  Throws std::out_of_range for unknown families.
+CompositionSpec family_composition(const std::string& family, int z);
+
+/// Materializes the composition into shells with even-tempered exponents and
+/// smooth contraction profiles.  Deterministic.
+ElementBasisDef make_synthetic_basis(const std::string& family, int z);
+
+}  // namespace mako

@@ -1,0 +1,44 @@
+// Cartesian -> real solid-harmonic (spherical) transformation matrices.
+//
+// Shells carry 2l+1 spherical components (the paper's Section 2.1); ERI
+// pipelines evaluate Cartesian intermediates and transform at the end.  The
+// coefficients are generated for arbitrary l from the real solid-harmonic
+// recursion relations rather than hardcoded tables, then normalized so that a
+// spherical Gaussian built from contraction-normalized primitives has unit
+// self-overlap (verified by the overlap-diagonal test).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace mako {
+
+/// Number of Cartesian components of angular momentum l: (l+1)(l+2)/2.
+constexpr int ncart(int l) noexcept { return (l + 1) * (l + 2) / 2; }
+
+/// Number of spherical components: 2l+1.
+constexpr int nsph(int l) noexcept { return 2 * l + 1; }
+
+/// Index of the Cartesian component (lx, ly, lz) within the canonical CCA
+/// ordering (lx descending, then ly descending).
+int cart_index(int l, int lx, int ly, int lz) noexcept;
+
+/// The (lx, ly, lz) triple at `index` in the canonical ordering.
+void cart_components(int l, int index, int& lx, int& ly, int& lz) noexcept;
+
+/// Transformation matrix C of shape [nsph(l) x ncart(l)]: a spherical
+/// component is C(m_row, :) dotted with the Cartesian components.  Row order
+/// is m = -l ... +l.  Cached per l; thread-safe after first use per l.
+const MatrixD& cart_to_sph(int l);
+
+/// Pair transformation matrix kron(C_la, C_lb) of shape
+/// [nsph(la)*nsph(lb) x ncart(la)*ncart(lb)], used to spherical-transform a
+/// bra or ket index pair of an ERI quartet in one GEMM.  Cached.
+const MatrixD& cart_to_sph_pair(int la, int lb);
+
+/// Double factorial (2k-1)!! with (-1)!! == 1.
+double double_factorial(int n) noexcept;
+
+}  // namespace mako

@@ -1,0 +1,245 @@
+#include "chem/builders.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "chem/elements.hpp"
+#include "util/rng.hpp"
+
+namespace mako {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Appends `mol` atoms of a rigid template rotated by Euler angles and
+// translated to `origin` (all in Bohr).
+void place_template(Molecule& out, const std::vector<Atom>& tmpl,
+                    const Vec3& origin, double alpha, double beta,
+                    double gamma) {
+  const double ca = std::cos(alpha), sa = std::sin(alpha);
+  const double cb = std::cos(beta), sb = std::sin(beta);
+  const double cg = std::cos(gamma), sg = std::sin(gamma);
+  // Z-Y-Z rotation matrix.
+  const double r[3][3] = {
+      {ca * cb * cg - sa * sg, -ca * cb * sg - sa * cg, ca * sb},
+      {sa * cb * cg + ca * sg, -sa * cb * sg + ca * cg, sa * sb},
+      {-sb * cg, sb * sg, cb}};
+  for (const Atom& a : tmpl) {
+    Vec3 p{};
+    for (int i = 0; i < 3; ++i) {
+      p[i] = origin[i];
+      for (int j = 0; j < 3; ++j) p[i] += r[i][j] * a.position[j];
+    }
+    out.add_atom(a.z, p[0], p[1], p[2]);
+  }
+}
+
+std::vector<Atom> water_template() {
+  const double roh = 0.9572 * kBohrPerAngstrom;
+  const double half_angle = 104.52 / 2.0 * kPi / 180.0;
+  return {
+      Atom{8, {0.0, 0.0, 0.0}},
+      Atom{1, {roh * std::sin(half_angle), 0.0, roh * std::cos(half_angle)}},
+      Atom{1, {-roh * std::sin(half_angle), 0.0, roh * std::cos(half_angle)}},
+  };
+}
+
+}  // namespace
+
+Molecule make_water() {
+  Molecule mol;
+  place_template(mol, water_template(), {0, 0, 0}, 0, 0, 0);
+  return mol;
+}
+
+Molecule make_water_cluster(std::size_t n, unsigned seed) {
+  Molecule mol;
+  if (n == 0) return mol;
+  const auto tmpl = water_template();
+  Rng rng(seed);
+
+  // Cubic lattice sized to hold n molecules, jittered to break symmetry.
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::cbrt(static_cast<double>(n))));
+  const double spacing = 2.8 * kBohrPerAngstrom;
+  std::size_t placed = 0;
+  for (std::size_t ix = 0; ix < side && placed < n; ++ix) {
+    for (std::size_t iy = 0; iy < side && placed < n; ++iy) {
+      for (std::size_t iz = 0; iz < side && placed < n; ++iz) {
+        Vec3 origin{
+            ix * spacing + rng.uniform(-0.15, 0.15),
+            iy * spacing + rng.uniform(-0.15, 0.15),
+            iz * spacing + rng.uniform(-0.15, 0.15),
+        };
+        place_template(mol, tmpl, origin, rng.uniform(0, 2 * kPi),
+                       rng.uniform(0, kPi), rng.uniform(0, 2 * kPi));
+        ++placed;
+      }
+    }
+  }
+  mol.recenter();
+  return mol;
+}
+
+Molecule make_polyglycine(std::size_t n_residues) {
+  // Extended-chain glycine repeat unit (Angstrom, hand-built with standard
+  // bond lengths: N-CA 1.45, CA-C 1.52, C=O 1.23, C-N 1.33, N-H 1.01,
+  // C-H 1.09).  The unit advances 3.64 Angstrom along +x per residue with a
+  // zig-zag in y to avoid steric clashes.
+  struct TAtom {
+    int z;
+    double x, y, zc;
+  };
+  static const TAtom unit[] = {
+      {7, 0.000, 0.000, 0.000},    // N
+      {1, -0.350, -0.900, 0.250},  // H on N
+      {6, 1.210, 0.770, 0.000},    // CA
+      {1, 1.170, 1.430, 0.880},    // HA1
+      {1, 1.170, 1.430, -0.880},   // HA2
+      {6, 2.450, -0.100, 0.000},   // C'
+      {8, 2.490, -1.330, 0.020},   // O
+  };
+  const double rise = 3.64;
+
+  Molecule mol;
+  // N-terminal cap hydrogen (completes NH2).
+  mol.add_atom(1, -0.60 * kBohrPerAngstrom, 0.80 * kBohrPerAngstrom, 0.0);
+  for (std::size_t r = 0; r < n_residues; ++r) {
+    const double x0 = rise * static_cast<double>(r);
+    const double flip = (r % 2 == 0) ? 1.0 : -1.0;
+    for (const TAtom& a : unit) {
+      mol.add_atom(a.z, (x0 + a.x) * kBohrPerAngstrom,
+                   flip * a.y * kBohrPerAngstrom, a.zc * kBohrPerAngstrom);
+    }
+  }
+  // C-terminal OH cap.
+  const double xc = rise * static_cast<double>(n_residues - 1);
+  const double flip = ((n_residues - 1) % 2 == 0) ? 1.0 : -1.0;
+  mol.add_atom(8, (xc + 3.10) * kBohrPerAngstrom,
+               flip * 0.95 * kBohrPerAngstrom, 0.0);
+  mol.add_atom(1, (xc + 3.95) * kBohrPerAngstrom,
+               flip * 0.60 * kBohrPerAngstrom, 0.0);
+  mol.recenter();
+  return mol;
+}
+
+Molecule make_synthetic_protein(std::size_t natoms, unsigned seed) {
+  // Ubiquitin composition: C378 H629 N105 O118 S1 (1231 atoms).  We scale
+  // that distribution to `natoms` and pack atoms into a globule with
+  // protein-like density (~0.085 heavy atoms / A^3 incl. H -> use 0.1 /A^3).
+  const double frac_c = 378.0 / 1231.0;
+  const double frac_h = 629.0 / 1231.0;
+  const double frac_n = 105.0 / 1231.0;
+  const double frac_o = 118.0 / 1231.0;
+
+  std::vector<int> zs;
+  zs.reserve(natoms);
+  const auto nc = static_cast<std::size_t>(frac_c * natoms);
+  const auto nh = static_cast<std::size_t>(frac_h * natoms);
+  const auto nn = static_cast<std::size_t>(frac_n * natoms);
+  const auto no = static_cast<std::size_t>(frac_o * natoms);
+  for (std::size_t i = 0; i < nc; ++i) zs.push_back(6);
+  for (std::size_t i = 0; i < nh; ++i) zs.push_back(1);
+  for (std::size_t i = 0; i < nn; ++i) zs.push_back(7);
+  for (std::size_t i = 0; i < no; ++i) zs.push_back(8);
+  while (zs.size() < natoms) zs.push_back(16);  // S and rounding remainder
+
+  Rng rng(seed);
+  // Shuffle the element order deterministically so chemistry is mixed.
+  for (std::size_t i = zs.size(); i > 1; --i) {
+    std::swap(zs[i - 1], zs[rng.uniform_int(0, static_cast<std::int64_t>(i) - 1)]);
+  }
+
+  const double volume_a3 = static_cast<double>(natoms) / 0.1;
+  const double radius =
+      std::cbrt(3.0 * volume_a3 / (4.0 * kPi)) * kBohrPerAngstrom;
+  const double min_sep = 1.0 * kBohrPerAngstrom;
+
+  Molecule mol;
+  std::vector<Vec3> placed;
+  placed.reserve(natoms);
+  std::size_t attempts = 0;
+  while (placed.size() < natoms && attempts < natoms * 400) {
+    ++attempts;
+    Vec3 p{rng.uniform(-radius, radius), rng.uniform(-radius, radius),
+           rng.uniform(-radius, radius)};
+    const double r2 = p[0] * p[0] + p[1] * p[1] + p[2] * p[2];
+    if (r2 > radius * radius) continue;
+    bool ok = true;
+    for (const Vec3& q : placed) {
+      if (distance(p, q) < min_sep) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    mol.add_atom(zs[placed.size()], p[0], p[1], p[2]);
+    placed.push_back(p);
+  }
+  return mol;
+}
+
+Molecule make_alkane(std::size_t n_carbons) {
+  Molecule mol;
+  if (n_carbons == 0) return mol;
+  const double ccd = 1.54 * kBohrPerAngstrom;
+  const double chd = 1.09 * kBohrPerAngstrom;
+  const double tet = std::acos(-1.0 / 3.0);  // tetrahedral angle
+  const double dx = ccd * std::sin(tet / 2.0);
+  const double dy = ccd * std::cos(tet / 2.0);
+
+  std::vector<Vec3> carbons;
+  for (std::size_t i = 0; i < n_carbons; ++i) {
+    carbons.push_back(
+        {static_cast<double>(i) * dx, (i % 2 == 0) ? 0.0 : dy, 0.0});
+    mol.add_atom(6, carbons.back()[0], carbons.back()[1], carbons.back()[2]);
+  }
+  // Hydrogens: two per interior carbon (out of plane), three on the ends.
+  for (std::size_t i = 0; i < n_carbons; ++i) {
+    const Vec3& c = carbons[i];
+    const double ysign = (i % 2 == 0) ? -1.0 : 1.0;
+    mol.add_atom(1, c[0], c[1] + ysign * chd * 0.50, c[2] + chd * 0.86);
+    mol.add_atom(1, c[0], c[1] + ysign * chd * 0.50, c[2] - chd * 0.86);
+    if (i == 0) {
+      mol.add_atom(1, c[0] - chd * 0.94, c[1] + ysign * chd * -0.33, c[2]);
+    }
+    if (i + 1 == n_carbons) {
+      mol.add_atom(1, c[0] + chd * 0.94, c[1] + ysign * chd * -0.33, c[2]);
+    }
+  }
+  mol.recenter();
+  return mol;
+}
+
+Molecule make_metal_complex(int metal_z, int n_ligands,
+                            double bond_length_ang) {
+  Molecule mol;
+  mol.add_atom(metal_z, 0, 0, 0);
+  const double d = bond_length_ang * kBohrPerAngstrom;
+  const double roh = 0.96 * kBohrPerAngstrom;
+
+  // Octahedral directions, truncated to n_ligands.
+  const Vec3 dirs[6] = {{1, 0, 0}, {-1, 0, 0}, {0, 1, 0},
+                        {0, -1, 0}, {0, 0, 1}, {0, 0, -1}};
+  const int k = std::min(n_ligands, 6);
+  for (int i = 0; i < k; ++i) {
+    const Vec3& u = dirs[i];
+    Vec3 o{u[0] * d, u[1] * d, u[2] * d};
+    mol.add_atom(8, o[0], o[1], o[2]);
+    // Two hydrogens completing an aqua ligand, perpendicular-ish to the bond.
+    Vec3 t = (std::fabs(u[0]) < 0.9) ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+    Vec3 perp{u[1] * t[2] - u[2] * t[1], u[2] * t[0] - u[0] * t[2],
+              u[0] * t[1] - u[1] * t[0]};
+    const double pn =
+        std::sqrt(perp[0] * perp[0] + perp[1] * perp[1] + perp[2] * perp[2]);
+    for (int j = 0; j < 3; ++j) perp[j] /= pn;
+    for (int s : {-1, 1}) {
+      mol.add_atom(1, o[0] + u[0] * roh * 0.5 + s * perp[0] * roh * 0.8,
+                   o[1] + u[1] * roh * 0.5 + s * perp[1] * roh * 0.8,
+                   o[2] + u[2] * roh * 0.5 + s * perp[2] * roh * 0.8);
+    }
+  }
+  return mol;
+}
+
+}  // namespace mako

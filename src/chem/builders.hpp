@@ -1,0 +1,41 @@
+// Geometry builders for the paper's evaluation workloads: water clusters and
+// polyglycine chains (Fig. 8/9), and a synthetic ubiquitin-scale polypeptide
+// (Fig. 10).  Real production traces (PDB structures) are substituted by
+// generated geometries with matching size and composition statistics; see
+// DESIGN.md.
+#pragma once
+
+#include <cstddef>
+
+#include "chem/molecule.hpp"
+
+namespace mako {
+
+/// A single water molecule at the experimental gas-phase geometry
+/// (r(OH) = 0.9572 Angstrom, HOH angle = 104.52 degrees).
+Molecule make_water();
+
+/// Cluster of `n` water molecules arranged on a jittered cubic lattice with
+/// ~2.8 Angstrom O-O nearest-neighbour spacing (the compact/globular workload
+/// class of the paper).  Deterministic for a given (n, seed).
+Molecule make_water_cluster(std::size_t n, unsigned seed = 1);
+
+/// Polyglycine chain H-(Gly)_n-OH in an extended (beta-strand-like)
+/// conformation — the linear workload class of the paper.
+Molecule make_polyglycine(std::size_t n_residues);
+
+/// Synthetic globular polypeptide with approximately `natoms` atoms whose
+/// element distribution matches ubiquitin (C/H/N/O/S).  Used for the Fig-10
+/// scaling study; only its shell-pair statistics matter there.
+Molecule make_synthetic_protein(std::size_t natoms = 1231, unsigned seed = 7);
+
+/// n-alkane C_n H_{2n+2} in the all-anti conformation.
+Molecule make_alkane(std::size_t n_carbons);
+
+/// Octahedral/tetrahedral model transition-metal complex M(L)_k with the
+/// given metal Z and water-like O donors at `bond_length_ang`; stands in for
+/// the tmQM transition-metal accuracy systems.
+Molecule make_metal_complex(int metal_z, int n_ligands = 4,
+                            double bond_length_ang = 2.0);
+
+}  // namespace mako

@@ -1,0 +1,31 @@
+// Accuracy-validation dataset generator.
+//
+// The paper validates numerical accuracy on 200+ molecules drawn from tmQM
+// (transition-metal complexes) and PubChem (larger organics).  Those
+// databases are external resources; we substitute a generated suite with the
+// same structural/chemical spread: small organics, alkane ladders, water
+// clusters, polyglycines, heteroatom species and model transition-metal
+// complexes.  Table-3's statistic (cross-implementation MAE of converged
+// total energies) depends only on having a diverse suite, which this is.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chem/molecule.hpp"
+
+namespace mako {
+
+/// A named benchmark molecule.
+struct DatasetEntry {
+  std::string name;
+  Molecule molecule;
+};
+
+/// Builds the full accuracy suite (>= 200 entries, deterministic).
+std::vector<DatasetEntry> build_accuracy_dataset();
+
+/// A small curated subset (hand-picked spread of the suite) for quick runs.
+std::vector<DatasetEntry> build_accuracy_dataset_small(std::size_t max_entries);
+
+}  // namespace mako

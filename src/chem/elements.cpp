@@ -1,0 +1,59 @@
+#include "chem/elements.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace mako {
+namespace {
+
+constexpr std::array<const char*, kMaxZ + 1> kSymbols = {
+    "X",  "H",  "He", "Li", "Be", "B",  "C",  "N",  "O",  "F",  "Ne", "Na",
+    "Mg", "Al", "Si", "P",  "S",  "Cl", "Ar", "K",  "Ca", "Sc", "Ti", "V",
+    "Cr", "Mn", "Fe", "Co", "Ni", "Cu", "Zn", "Ga", "Ge", "As", "Se", "Br",
+    "Kr"};
+
+// Covalent radii (Angstrom), Cordero et al. 2008; converted to Bohr below.
+constexpr std::array<double, kMaxZ + 1> kCovalentRadiusAng = {
+    0.00, 0.31, 0.28, 1.28, 0.96, 0.84, 0.76, 0.71, 0.66, 0.57,
+    0.58, 1.66, 1.41, 1.21, 1.11, 1.07, 1.05, 1.02, 1.06, 2.03,
+    1.76, 1.70, 1.60, 1.53, 1.39, 1.39, 1.32, 1.26, 1.24, 1.32,
+    1.22, 1.22, 1.20, 1.19, 1.20, 1.20, 1.16};
+
+// Bragg-Slater radii (Angstrom); hydrogen conventionally 0.35 for Becke grids.
+constexpr std::array<double, kMaxZ + 1> kBraggRadiusAng = {
+    0.00, 0.35, 0.31, 1.45, 1.05, 0.85, 0.70, 0.65, 0.60, 0.50,
+    0.38, 1.80, 1.50, 1.25, 1.10, 1.00, 1.00, 1.00, 0.71, 2.20,
+    1.80, 1.60, 1.40, 1.35, 1.40, 1.40, 1.40, 1.35, 1.35, 1.35,
+    1.35, 1.30, 1.25, 1.15, 1.15, 1.15, 0.88};
+
+}  // namespace
+
+int atomic_number(const std::string& symbol) {
+  if (symbol.empty()) return 0;
+  std::string norm;
+  norm += static_cast<char>(std::toupper(static_cast<unsigned char>(symbol[0])));
+  for (std::size_t i = 1; i < symbol.size() && std::isalpha(static_cast<unsigned char>(symbol[i])); ++i) {
+    norm += static_cast<char>(std::tolower(static_cast<unsigned char>(symbol[i])));
+  }
+  for (int z = 1; z <= kMaxZ; ++z) {
+    if (norm == kSymbols[z]) return z;
+  }
+  return 0;
+}
+
+const char* element_symbol(int z) {
+  if (z < 1 || z > kMaxZ) return "?";
+  return kSymbols[z];
+}
+
+double covalent_radius_bohr(int z) {
+  if (z < 1 || z > kMaxZ) return 1.0;
+  return kCovalentRadiusAng[z] * kBohrPerAngstrom;
+}
+
+double bragg_radius_bohr(int z) {
+  if (z < 1 || z > kMaxZ) return 1.0;
+  return kBraggRadiusAng[z] * kBohrPerAngstrom;
+}
+
+}  // namespace mako

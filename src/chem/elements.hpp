@@ -1,0 +1,35 @@
+// Periodic-table data needed by the electronic-structure stack.
+#pragma once
+
+#include <string>
+
+namespace mako {
+
+/// Highest atomic number with tabulated data (H..Kr covers the paper's
+/// organic/biomolecular systems plus first-row transition metals for the
+/// tmQM-style accuracy suite).
+inline constexpr int kMaxZ = 36;
+
+/// Atomic number for an element symbol ("H", "He", ...); returns 0 if the
+/// symbol is unknown.  Case-insensitive in the first letter only, matching
+/// XYZ-file conventions.
+int atomic_number(const std::string& symbol);
+
+/// Element symbol for an atomic number; "?" if out of range.
+const char* element_symbol(int z);
+
+/// Covalent radius in Bohr (used by geometry builders and sanity checks).
+double covalent_radius_bohr(int z);
+
+/// Bragg-Slater atomic radius in Bohr (used by the Becke partitioning of the
+/// DFT integration grid).
+double bragg_radius_bohr(int z);
+
+/// Number of electrons contributed by a neutral atom (== Z).
+inline int electrons_of(int z) { return z; }
+
+/// Conversion factors.
+inline constexpr double kAngstromPerBohr = 0.529177210903;
+inline constexpr double kBohrPerAngstrom = 1.0 / kAngstromPerBohr;
+
+}  // namespace mako

@@ -1,0 +1,104 @@
+#include "chem/molecule.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "chem/elements.hpp"
+
+namespace mako {
+
+int Molecule::num_electrons() const {
+  int n = 0;
+  for (const Atom& a : atoms_) n += a.z;
+  return n - charge_;
+}
+
+double Molecule::nuclear_repulsion() const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    for (std::size_t j = i + 1; j < atoms_.size(); ++j) {
+      const double r = distance(atoms_[i].position, atoms_[j].position);
+      e += static_cast<double>(atoms_[i].z) * atoms_[j].z / r;
+    }
+  }
+  return e;
+}
+
+void Molecule::recenter() {
+  double cx = 0.0, cy = 0.0, cz = 0.0, zq = 0.0;
+  for (const Atom& a : atoms_) {
+    cx += a.z * a.position[0];
+    cy += a.z * a.position[1];
+    cz += a.z * a.position[2];
+    zq += a.z;
+  }
+  if (zq == 0.0) return;
+  cx /= zq;
+  cy /= zq;
+  cz /= zq;
+  for (Atom& a : atoms_) {
+    a.position[0] -= cx;
+    a.position[1] -= cy;
+    a.position[2] -= cz;
+  }
+}
+
+Molecule Molecule::from_xyz(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("XYZ parse: empty input");
+  }
+  std::size_t natoms = 0;
+  try {
+    natoms = std::stoul(line);
+  } catch (const std::exception&) {
+    throw std::runtime_error("XYZ parse: first line must be the atom count");
+  }
+  std::getline(in, line);  // comment line (may be absent for natoms==0)
+
+  Molecule mol;
+  for (std::size_t i = 0; i < natoms; ++i) {
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("XYZ parse: fewer atom lines than declared");
+    }
+    std::istringstream ls(line);
+    std::string sym;
+    double x, y, z;
+    if (!(ls >> sym >> x >> y >> z)) {
+      throw std::runtime_error("XYZ parse: malformed atom line: " + line);
+    }
+    const int zn = atomic_number(sym);
+    if (zn == 0) {
+      throw std::runtime_error("XYZ parse: unknown element symbol: " + sym);
+    }
+    mol.add_atom(zn, x * kBohrPerAngstrom, y * kBohrPerAngstrom,
+                 z * kBohrPerAngstrom);
+  }
+  return mol;
+}
+
+Molecule Molecule::from_xyz_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open XYZ file: " + path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return from_xyz(ss.str());
+}
+
+std::string Molecule::to_xyz(const std::string& comment) const {
+  std::ostringstream out;
+  out << atoms_.size() << "\n" << comment << "\n";
+  out.setf(std::ios::fixed);
+  out.precision(8);
+  for (const Atom& a : atoms_) {
+    out << element_symbol(a.z) << "  " << a.position[0] * kAngstromPerBohr
+        << "  " << a.position[1] * kAngstromPerBohr << "  "
+        << a.position[2] * kAngstromPerBohr << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mako

@@ -1,0 +1,69 @@
+// Molecular geometry container and XYZ I/O.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace mako {
+
+/// 3-vector of coordinates in Bohr.
+using Vec3 = std::array<double, 3>;
+
+inline double distance(const Vec3& a, const Vec3& b) noexcept {
+  const double dx = a[0] - b[0];
+  const double dy = a[1] - b[1];
+  const double dz = a[2] - b[2];
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+/// One atom: element + position (Bohr).
+struct Atom {
+  int z = 0;
+  Vec3 position{0.0, 0.0, 0.0};
+};
+
+/// A molecule (atom list + total charge / multiplicity; this reproduction
+/// restricts SCF to closed-shell RHF/RKS, which covers every system in the
+/// paper's evaluation).
+class Molecule {
+ public:
+  Molecule() = default;
+  explicit Molecule(std::vector<Atom> atoms, int charge = 0)
+      : atoms_(std::move(atoms)), charge_(charge) {}
+
+  [[nodiscard]] const std::vector<Atom>& atoms() const noexcept {
+    return atoms_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return atoms_.size(); }
+  [[nodiscard]] int charge() const noexcept { return charge_; }
+  void set_charge(int charge) noexcept { charge_ = charge; }
+
+  void add_atom(int z, double x, double y, double z_coord) {
+    atoms_.push_back(Atom{z, {x, y, z_coord}});
+  }
+
+  /// Total electron count = sum(Z) - charge.
+  [[nodiscard]] int num_electrons() const;
+
+  /// Classical nuclear-nuclear repulsion energy (Hartree).
+  [[nodiscard]] double nuclear_repulsion() const;
+
+  /// Translate so the center of nuclear charge sits at the origin.
+  void recenter();
+
+  /// Parse XYZ-format text (coordinates in Angstrom, converted to Bohr).
+  /// Throws std::runtime_error on malformed input.
+  static Molecule from_xyz(const std::string& text);
+  static Molecule from_xyz_file(const std::string& path);
+
+  /// Serialize to XYZ text (Angstrom).
+  [[nodiscard]] std::string to_xyz(const std::string& comment = "") const;
+
+ private:
+  std::vector<Atom> atoms_;
+  int charge_ = 0;
+};
+
+}  // namespace mako

@@ -1,0 +1,165 @@
+#include "compilermako/autotuner.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace mako {
+namespace {
+
+// Factor k into (na, nb) with na*nb == k, as square as possible, so the
+// calibration shells reproduce the class's contraction degree.
+std::pair<int, int> factor_contraction(int k) {
+  int na = static_cast<int>(std::sqrt(static_cast<double>(k)));
+  while (na > 1 && k % na != 0) --na;
+  return {na, k / na};
+}
+
+Shell make_calibration_shell(int l, int nprim, const Vec3& center, Rng& rng) {
+  Shell s;
+  s.l = l;
+  s.center = center;
+  for (int i = 0; i < nprim; ++i) {
+    // Even-tempered ladder in the chemically active exponent range.
+    s.exponents.push_back(0.25 * std::pow(2.6, i) * rng.uniform(0.9, 1.1));
+    s.coefficients.push_back(rng.uniform(0.3, 1.0));
+  }
+  normalize_shell(s);
+  return s;
+}
+
+}  // namespace
+
+CalibrationBatch make_calibration_batch(const EriClassKey& key,
+                                        std::size_t num_quartets,
+                                        unsigned seed) {
+  CalibrationBatch batch;
+  Rng rng(seed);
+  const auto [na, nb] = factor_contraction(key.kab);
+  const auto [nc, nd] = factor_contraction(key.kcd);
+
+  batch.shells.reserve(num_quartets * 4);
+  for (std::size_t q = 0; q < num_quartets; ++q) {
+    auto jitter = [&rng]() {
+      return Vec3{rng.uniform(-1.5, 1.5), rng.uniform(-1.5, 1.5),
+                  rng.uniform(-1.5, 1.5)};
+    };
+    batch.shells.push_back(make_calibration_shell(key.la, na, jitter(), rng));
+    batch.shells.push_back(make_calibration_shell(key.lb, nb, jitter(), rng));
+    batch.shells.push_back(make_calibration_shell(key.lc, nc, jitter(), rng));
+    batch.shells.push_back(make_calibration_shell(key.ld, nd, jitter(), rng));
+  }
+  for (std::size_t q = 0; q < num_quartets; ++q) {
+    batch.quartets.push_back(QuartetRef{
+        &batch.shells[q * 4 + 0], &batch.shells[q * 4 + 1],
+        &batch.shells[q * 4 + 2], &batch.shells[q * 4 + 3]});
+  }
+  return batch;
+}
+
+const TunedKernel& Autotuner::tune(const EriClassKey& key,
+                                   Precision precision) {
+  const CacheKey cache_key{key, precision};
+  auto it = cache_.find(cache_key);
+  if (it != cache_.end()) return it->second;
+
+  const CalibrationBatch batch = make_calibration_batch(
+      key, static_cast<std::size_t>(options_.calibration_batch));
+  std::span<const QuartetRef> quartets(batch.quartets);
+  std::vector<std::vector<double>> out;
+
+  TunedKernel best;
+  best.measured_seconds = std::numeric_limits<double>::infinity();
+
+  // Algorithm 2: sweep MatMul parameters; threadblock shape feeds back into
+  // reuse-guided planning; an inner pass sweeps ILP factors.
+  for (int tm : options_.tile_m) {
+    for (int tn : options_.tile_n) {
+      for (int tk : options_.tile_k) {
+        KernelConfig config;
+        config.gemm.tile_m = tm;
+        config.gemm.tile_n = tn;
+        config.gemm.tile_k = tk;
+        config.gemm.precision = precision;
+        const FusionPlan plan = plan_fusion(key, config.gemm, device_);
+        apply_plan(plan, config);
+
+        for (int ilp : options_.ilp_factors) {
+          config.gemm.ilp = ilp;
+          BatchedEriEngine engine(config);
+          double seconds = std::numeric_limits<double>::infinity();
+          for (int rep = 0; rep < options_.profile_repeats; ++rep) {
+            Timer t;
+            engine.compute_batch(key, quartets, out);
+            seconds = std::min(seconds, t.seconds());
+          }
+          ++best.candidates_profiled;
+          if (seconds < best.measured_seconds) {
+            best.measured_seconds = seconds;
+            best.config = config;
+            best.plan = plan;
+          }
+        }
+      }
+    }
+  }
+
+  log_debug("autotuner: %s %s -> tile(%d,%d,%d) ilp=%d %s (%.3f ms, %d cands)",
+            key.name().c_str(), to_string(precision),
+            best.config.gemm.tile_m, best.config.gemm.tile_n,
+            best.config.gemm.tile_k, best.config.gemm.ilp,
+            to_string(best.plan.strategy), best.measured_seconds * 1e3,
+            best.candidates_profiled);
+
+  return cache_.emplace(cache_key, best).first->second;
+}
+
+std::optional<TunedKernel> Autotuner::lookup(const EriClassKey& key,
+                                             Precision precision) const {
+  auto it = cache_.find({key, precision});
+  if (it == cache_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Autotuner::serialize_cache() const {
+  std::ostringstream out;
+  for (const auto& [key, tuned] : cache_) {
+    const EriClassKey& k = key.first;
+    out << k.la << ' ' << k.lb << ' ' << k.lc << ' ' << k.ld << ' ' << k.kab
+        << ' ' << k.kcd << ' ' << static_cast<int>(key.second) << ' '
+        << tuned.config.gemm.tile_m << ' ' << tuned.config.gemm.tile_n << ' '
+        << tuned.config.gemm.tile_k << ' ' << tuned.config.gemm.ilp << ' '
+        << tuned.config.fuse_gemms << ' ' << tuned.config.use_swizzle << ' '
+        << tuned.measured_seconds << '\n';
+  }
+  return out.str();
+}
+
+void Autotuner::load_cache(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    EriClassKey k;
+    int prec, fuse, swizzle;
+    TunedKernel tuned;
+    if (!(ls >> k.la >> k.lb >> k.lc >> k.ld >> k.kab >> k.kcd >> prec >>
+          tuned.config.gemm.tile_m >> tuned.config.gemm.tile_n >>
+          tuned.config.gemm.tile_k >> tuned.config.gemm.ilp >> fuse >>
+          swizzle >> tuned.measured_seconds)) {
+      continue;
+    }
+    tuned.config.gemm.precision = static_cast<Precision>(prec);
+    tuned.config.fuse_gemms = fuse != 0;
+    tuned.config.use_swizzle = swizzle != 0;
+    tuned.plan = plan_fusion(k, tuned.config.gemm, device_);
+    cache_[{k, static_cast<Precision>(prec)}] = tuned;
+  }
+}
+
+}  // namespace mako

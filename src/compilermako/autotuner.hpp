@@ -1,0 +1,86 @@
+// CompilerMako, part 2: Architecture-Tuned Compilation (Section 3.3.2,
+// Algorithm 2).
+//
+// For one (ERI class, precision) pair the tuner sweeps the CUTLASS-style
+// configuration space — tile shapes crossed with implicit-ILP factors
+// {1..32} — profiling each candidate on a calibration batch and keeping the
+// fastest.  Threadblock (tile) choices interact with fusion feasibility, so
+// Reuse-Guided Planning re-runs inside the loop exactly as Algorithm 2
+// specifies.  Results are cached per (class, precision, device).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accel/device.hpp"
+#include "compilermako/fusion_planner.hpp"
+#include "kernelmako/batched_eri.hpp"
+#include "kernelmako/eri_class.hpp"
+
+namespace mako {
+
+/// Outcome of tuning one (class, precision).
+struct TunedKernel {
+  KernelConfig config{};
+  FusionPlan plan{};
+  double measured_seconds = 0.0;  ///< best profile time for the batch
+  int candidates_profiled = 0;
+};
+
+/// Tuning options.
+struct TunerOptions {
+  std::vector<int> tile_m = {16, 32, 48};
+  std::vector<int> tile_n = {16, 32, 48};
+  std::vector<int> tile_k = {16, 32};
+  std::vector<int> ilp_factors = {1, 2, 4, 8, 16, 32};
+  int calibration_batch = 8;   ///< quartets profiled per candidate
+  int profile_repeats = 1;
+};
+
+/// Architecture-tuned kernel compiler/tuner with a per-device cache.
+class Autotuner {
+ public:
+  explicit Autotuner(DeviceSpec device = DeviceSpec::a100(),
+                     TunerOptions options = {})
+      : device_(std::move(device)), options_(std::move(options)) {}
+
+  /// Runs Algorithm 2 for the class at the precision, profiling on a
+  /// synthetic calibration batch.  Cached per (class, precision).
+  const TunedKernel& tune(const EriClassKey& key, Precision precision);
+
+  /// Cache lookup without tuning.
+  [[nodiscard]] std::optional<TunedKernel> lookup(const EriClassKey& key,
+                                                  Precision precision) const;
+
+  [[nodiscard]] const DeviceSpec& device() const noexcept { return device_; }
+  [[nodiscard]] std::size_t cache_size() const noexcept {
+    return cache_.size();
+  }
+
+  /// Serializes / restores the tuning cache (plain text), the analogue of
+  /// shipping pre-tuned kernel configurations with the library.
+  [[nodiscard]] std::string serialize_cache() const;
+  void load_cache(const std::string& text);
+
+ private:
+  using CacheKey = std::pair<EriClassKey, Precision>;
+
+  DeviceSpec device_;
+  TunerOptions options_;
+  std::map<CacheKey, TunedKernel> cache_;
+};
+
+/// Builds a synthetic, geometrically plausible calibration batch for a class
+/// (shells with even-tempered exponents at jittered centers).  Shared with
+/// the microbenchmarks.
+struct CalibrationBatch {
+  std::vector<Shell> shells;       ///< backing storage
+  std::vector<QuartetRef> quartets;
+};
+CalibrationBatch make_calibration_batch(const EriClassKey& key,
+                                        std::size_t num_quartets,
+                                        unsigned seed = 42);
+
+}  // namespace mako

@@ -1,0 +1,130 @@
+#include "compilermako/fusion_planner.hpp"
+
+#include <algorithm>
+
+namespace mako {
+
+const char* to_string(FusionStrategy s) noexcept {
+  switch (s) {
+    case FusionStrategy::kUnfused:
+      return "unfused";
+    case FusionStrategy::kFuseRPq:
+      return "fuse-r-pq-gemm1";
+    case FusionStrategy::kFullyFused:
+      return "fully-fused (GEMM coalescing)";
+  }
+  return "?";
+}
+
+std::size_t fusion_smem_footprint(const EriClassKey& key,
+                                  FusionStrategy strategy,
+                                  const GemmConfig& gemm) {
+  const std::size_t in_bytes = bytes_per_element(gemm.precision);
+  const std::size_t acc_bytes =
+      (gemm.precision == Precision::kFP64) ? 8 : 4;  // dual-stage acc = FP32
+  const auto tm = static_cast<std::size_t>(gemm.tile_m);
+  const auto tn = static_cast<std::size_t>(gemm.tile_n);
+  const auto tk = static_cast<std::size_t>(gemm.tile_k);
+
+  // Baseline GEMM tile residency (operand stages + accumulator), present in
+  // every strategy that runs a GEMM.
+  const std::size_t gemm_tile =
+      in_bytes * (tm * tk + tk * tn) + acc_bytes * tm * tn;
+
+  switch (strategy) {
+    case FusionStrategy::kUnfused:
+      // Only the GEMM tiles are live inside any one kernel.
+      return gemm_tile;
+    case FusionStrategy::kFuseRPq: {
+      // r-integrals of the quartet plus the swizzle staging tile are live
+      // alongside the GEMM1 tile.
+      const std::size_t r_bytes = 8 * static_cast<std::size_t>(nherm(key.ltot()));
+      const std::size_t swizzle_tile = 8 * 32 * 32;
+      return gemm_tile + r_bytes + swizzle_tile;
+    }
+    case FusionStrategy::kFullyFused: {
+      // Between the two coalesced GEMMs (Eq. 11) each threadblock keeps its
+      // tile_m-row strip of (ab|q~] resident (the unified N-dimension tiling
+      // of Fig. 4 streams the rest), plus the E_CD stage consumed by GEMM2.
+      const std::size_t r_bytes = 8 * static_cast<std::size_t>(nherm(key.ltot()));
+      const std::size_t swizzle_tile = 8 * 32 * 32;
+      const std::size_t abq_strip =
+          acc_bytes * std::min<std::size_t>(tm, key.ncart_bra()) *
+          key.nherm_ket();
+      const std::size_t ecd_tile = in_bytes * tk * tn;
+      return gemm_tile + r_bytes + swizzle_tile + abq_strip + ecd_tile;
+    }
+  }
+  return gemm_tile;
+}
+
+std::vector<FusionPlan> enumerate_fusion_plans(const EriClassKey& key,
+                                               const GemmConfig& gemm,
+                                               const DeviceSpec& device) {
+  std::vector<FusionPlan> plans;
+  const std::size_t budget = device.fusion_smem_budget();
+
+  const double nht = nherm(key.ltot());
+  const double pq_size = static_cast<double>(key.nherm_bra()) * key.nherm_ket();
+  const double abq_size =
+      static_cast<double>(key.ncart_bra()) * key.nherm_ket();
+
+  for (FusionStrategy s : {FusionStrategy::kUnfused, FusionStrategy::kFuseRPq,
+                           FusionStrategy::kFullyFused}) {
+    FusionPlan plan;
+    plan.strategy = s;
+    plan.smem_bytes = fusion_smem_footprint(key, s, gemm);
+    plan.feasible = plan.smem_bytes <= budget;
+    if (s == FusionStrategy::kFullyFused && (key.kab != 1 || key.kcd != 1)) {
+      plan.feasible = false;  // coalescing requires the K=1 structure (Eq. 11)
+    }
+    switch (s) {
+      case FusionStrategy::kUnfused:
+        plan.kernel_launches = 5;
+        // r out+in, transpose out+in, pq out+in, abq out+in.
+        plan.global_traffic_per_quartet = 8.0 * (4 * nht + 2 * pq_size + 2 * abq_size);
+        break;
+      case FusionStrategy::kFuseRPq:
+        plan.kernel_launches = 2;
+        plan.global_traffic_per_quartet = 8.0 * (2 * abq_size);
+        break;
+      case FusionStrategy::kFullyFused:
+        plan.kernel_launches = 1;
+        plan.global_traffic_per_quartet = 0.0;  // intermediates stay on chip
+        break;
+    }
+    plans.push_back(plan);
+  }
+  return plans;
+}
+
+FusionPlan plan_fusion(const EriClassKey& key, const GemmConfig& gemm,
+                       const DeviceSpec& device) {
+  const auto plans = enumerate_fusion_plans(key, gemm, device);
+  // Deepest feasible fusion wins (they are ordered shallow -> deep and
+  // deeper is monotonically better in launches + traffic).
+  FusionPlan best = plans.front();
+  for (const FusionPlan& p : plans) {
+    if (p.feasible) best = p;
+  }
+  return best;
+}
+
+void apply_plan(const FusionPlan& plan, KernelConfig& config) {
+  switch (plan.strategy) {
+    case FusionStrategy::kUnfused:
+      config.fuse_gemms = false;
+      config.use_swizzle = false;
+      break;
+    case FusionStrategy::kFuseRPq:
+      config.fuse_gemms = true;
+      config.use_swizzle = true;
+      break;
+    case FusionStrategy::kFullyFused:
+      config.fuse_gemms = true;
+      config.use_swizzle = true;
+      break;
+  }
+}
+
+}  // namespace mako

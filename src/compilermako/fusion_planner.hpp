@@ -1,0 +1,58 @@
+// CompilerMako, part 1: Reuse-Guided Planning (Section 3.3.1).
+//
+// For each ERI class the intermediate tensors (r, [p~|q~], (ab|q~]) have
+// statically known shapes, so fusion feasibility is decided at compile/plan
+// time: the planner enumerates fusion strategies, computes the live
+// shared-memory footprint S(F) of each (Eq. 12) under the CUTLASS-style tile
+// configuration, enforces the occupancy constraint S(F) <= SMEM_max / 2
+// (Eq. 13), and picks the deepest legal fusion.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/device.hpp"
+#include "kernelmako/batched_eri.hpp"
+#include "kernelmako/eri_class.hpp"
+
+namespace mako {
+
+/// Fusion granularity candidates, shallow to deep.
+enum class FusionStrategy {
+  kUnfused,        ///< r / transpose / pq / GEMM1 / GEMM2 all separate
+  kFuseRPq,        ///< r + swizzle + pq assembly + GEMM1 in one kernel
+  kFullyFused,     ///< additionally coalesce GEMM2 (Eq. 11; needs K == 1)
+};
+
+const char* to_string(FusionStrategy s) noexcept;
+
+/// One evaluated candidate.
+struct FusionPlan {
+  FusionStrategy strategy = FusionStrategy::kFuseRPq;
+  std::size_t smem_bytes = 0;   ///< S(F) under the given tile config
+  bool feasible = false;        ///< Eq. 13 satisfied
+  int kernel_launches = 0;      ///< launches per primitive-pair step
+  double global_traffic_per_quartet = 0.0;  ///< modeled DRAM bytes
+};
+
+/// Live-tensor footprint S(F) of a strategy for a class under a tile config
+/// and compute precision (Eq. 12).
+std::size_t fusion_smem_footprint(const EriClassKey& key,
+                                  FusionStrategy strategy,
+                                  const GemmConfig& gemm);
+
+/// Evaluates all strategies for the class and returns them (shallow->deep),
+/// each annotated with feasibility on `device`.
+std::vector<FusionPlan> enumerate_fusion_plans(const EriClassKey& key,
+                                               const GemmConfig& gemm,
+                                               const DeviceSpec& device);
+
+/// Picks the best feasible plan: deepest fusion (fewest launches / least
+/// global traffic) that satisfies the SMEM budget.
+FusionPlan plan_fusion(const EriClassKey& key, const GemmConfig& gemm,
+                       const DeviceSpec& device);
+
+/// Applies a plan to a kernel configuration (sets fuse/swizzle flags).
+void apply_plan(const FusionPlan& plan, KernelConfig& config);
+
+}  // namespace mako

@@ -1,0 +1,37 @@
+#include "compilermako/registry.hpp"
+
+#include <set>
+
+namespace mako {
+
+std::vector<PairClass> enumerate_pair_classes(const BasisSet& basis) {
+  std::set<PairClass> classes;
+  const auto& shells = basis.shells();
+  for (std::size_t i = 0; i < shells.size(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      classes.insert(PairClass{shells[i].l, shells[j].l,
+                               shells[i].nprim() * shells[j].nprim()});
+    }
+  }
+  return {classes.begin(), classes.end()};
+}
+
+std::vector<EriClassKey> enumerate_eri_classes(const BasisSet& basis) {
+  const auto pairs = enumerate_pair_classes(basis);
+  std::set<EriClassKey> classes;
+  for (const PairClass& bra : pairs) {
+    for (const PairClass& ket : pairs) {
+      EriClassKey key;
+      key.la = bra.l1;
+      key.lb = bra.l2;
+      key.lc = ket.l1;
+      key.ld = ket.l2;
+      key.kab = bra.k;
+      key.kcd = ket.k;
+      classes.insert(key);
+    }
+  }
+  return {classes.begin(), classes.end()};
+}
+
+}  // namespace mako

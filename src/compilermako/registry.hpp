@@ -1,0 +1,26 @@
+// Enumeration of the ERI classes a basis set generates — CompilerMako's
+// planning domain.  The combinatorial growth of this set with angular
+// momentum is exactly the scalability problem Section 2.4.3 describes.
+#pragma once
+
+#include <vector>
+
+#include "basis/basis_set.hpp"
+#include "kernelmako/eri_class.hpp"
+
+namespace mako {
+
+/// Distinct (angular momentum pattern x contraction degree) classes among
+/// all shell quartets of the basis.  Sorted ascending.
+std::vector<EriClassKey> enumerate_eri_classes(const BasisSet& basis);
+
+/// Distinct bra/ket shell-pair classes (l1, l2, K) — the building blocks.
+struct PairClass {
+  int l1 = 0, l2 = 0, k = 1;
+  [[nodiscard]] bool operator<(const PairClass& o) const {
+    return std::tie(l1, l2, k) < std::tie(o.l1, o.l2, o.k);
+  }
+};
+std::vector<PairClass> enumerate_pair_classes(const BasisSet& basis);
+
+}  // namespace mako

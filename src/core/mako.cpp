@@ -1,0 +1,92 @@
+#include "core/mako.hpp"
+
+#include <sstream>
+
+#include "basis/basis_set.hpp"
+#include "compilermako/registry.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace mako {
+
+std::string MakoReport::summary() const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(10);
+  out << "== Mako run report ==\n";
+  out << "basis functions:        " << nbf << " (" << num_shells
+      << " shells)\n";
+  out << "SCF iterations:         " << scf.iterations
+      << (scf.converged ? " (converged)" : " (NOT converged)") << "\n";
+  out << "Total Energy:           " << scf.energy << " Eh\n";
+  out << "  nuclear repulsion:    " << scf.e_nuclear << "\n";
+  out << "  one-electron:         " << scf.e_one_electron << "\n";
+  out << "  Coulomb:              " << scf.e_coulomb << "\n";
+  out << "  exact exchange:       " << scf.e_exact_exchange << "\n";
+  out << "  XC functional:        " << scf.e_xc << "\n";
+  out.precision(4);
+  out << "total wall-clock time:  " << total_seconds << " s\n";
+  out << "avg SCF iteration time: " << scf.avg_iteration_seconds()
+      << " s (excluding first iteration)\n";
+  if (classes_tuned > 0) {
+    out << "ERI classes tuned:      " << classes_tuned << "\n";
+  }
+  return out.str();
+}
+
+MakoEngine::MakoEngine(MakoOptions options)
+    : options_(std::move(options)),
+      tuner_(options_.device, options_.tuner) {}
+
+ScfOptions MakoEngine::make_scf_options() const {
+  ScfOptions scf;
+  scf.xc = XcFunctional::from_name(options_.functional);
+  scf.fock.engine = options_.engine;
+  scf.fock.batch_size = options_.batch_size;
+  scf.grid = options_.grid;
+  scf.max_iterations = options_.max_iterations;
+  scf.fixed_iterations = options_.fixed_iterations;
+  scf.energy_convergence = options_.convergence;
+  scf.enable_quantization = options_.quantization;
+  return scf;
+}
+
+int MakoEngine::tune_for(const Molecule& mol) {
+  const BasisSet basis(mol, options_.basis);
+  const auto classes = enumerate_eri_classes(basis);
+  int tuned = 0;
+  for (const EriClassKey& key : classes) {
+    tuner_.tune(key, Precision::kFP64);
+    ++tuned;
+    if (options_.quantization) {
+      tuner_.tune(key, Precision::kFP16);
+      ++tuned;
+    }
+  }
+  log_info("CompilerMako: tuned %d kernel variants for %zu ERI classes",
+           tuned, classes.size());
+  return tuned;
+}
+
+MakoReport MakoEngine::compute_energy(const Molecule& mol) {
+  Timer total;
+  MakoReport report;
+
+  if (options_.autotune) {
+    report.classes_tuned = tune_for(mol);
+  }
+
+  const BasisSet basis(mol, options_.basis);
+  report.nbf = basis.nbf();
+  report.num_shells = basis.num_shells();
+
+  ScfOptions scf_options = make_scf_options();
+  if (options_.autotune) {
+    scf_options.fock.tuner = &tuner_;
+  }
+  report.scf = run_scf(mol, basis, scf_options);
+  report.total_seconds = total.seconds();
+  return report;
+}
+
+}  // namespace mako

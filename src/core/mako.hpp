@@ -1,0 +1,76 @@
+// Mako public API.
+//
+// MakoEngine is the top-level entry point a downstream user touches: give it
+// a molecule and options (basis, functional, engine, quantization,
+// autotuning), get back converged energies with the per-stage performance
+// report the paper's artifact prints (total wall-clock time + average SCF
+// iteration time excluding the first).
+//
+//   mako::MakoEngine engine({.basis = "def2-tzvp", .functional = "b3lyp",
+//                            .quantization = true});
+//   mako::MakoReport report = engine.compute_energy(molecule);
+//   std::cout << report.summary();
+#pragma once
+
+#include <string>
+
+#include "accel/device.hpp"
+#include "chem/molecule.hpp"
+#include "compilermako/autotuner.hpp"
+#include "scf/scf.hpp"
+
+namespace mako {
+
+/// Top-level options.
+struct MakoOptions {
+  std::string basis = "sto-3g";
+  std::string functional = "hf";   ///< "hf", "lda", "blyp", "b3lyp"
+  EriEngineKind engine = EriEngineKind::kMako;
+  bool quantization = false;       ///< QuantMako scheduling
+  bool autotune = false;           ///< CompilerMako per-class tuning
+  GridSpec grid = GridSpec::coarse();
+  int max_iterations = 60;
+  int fixed_iterations = 0;        ///< >0: benchmark mode
+  double convergence = 1e-7;       ///< SCF energy threshold (paper setting)
+  DeviceSpec device = DeviceSpec::a100();
+  TunerOptions tuner{};
+  std::size_t batch_size = 32;
+};
+
+/// Result bundle.
+struct MakoReport {
+  ScfResult scf;
+  double total_seconds = 0.0;
+  std::size_t nbf = 0;
+  std::size_t num_shells = 0;
+  int classes_tuned = 0;
+
+  /// Artifact-style text report (energies + the two timing metrics).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// The Mako quantum chemistry engine.
+class MakoEngine {
+ public:
+  explicit MakoEngine(MakoOptions options = {});
+
+  /// Single-point energy computation.
+  MakoReport compute_energy(const Molecule& mol);
+
+  /// Pre-tunes every ERI class the basis generates on this engine's device
+  /// (CompilerMako ahead-of-time compilation).  Returns classes tuned.
+  int tune_for(const Molecule& mol);
+
+  [[nodiscard]] const MakoOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] Autotuner& tuner() noexcept { return tuner_; }
+
+ private:
+  ScfOptions make_scf_options() const;
+
+  MakoOptions options_;
+  Autotuner tuner_;
+};
+
+}  // namespace mako

@@ -1,0 +1,88 @@
+#include "integrals/boys.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mako {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Reference evaluation used to build the table.  Each order is computed
+// independently from its own convergent ascending series
+//   F_m(x) = exp(-x) sum_i (2x)^i / [(2m+1)(2m+3)...(2m+2i+1)]
+// — downward recursion from a high seed order is numerically UNSTABLE for
+// large x (the step factor 2x/(2m+1) exceeds 1 once 2m+1 < 2x and amplifies
+// the seed's rounding error by orders of magnitude), so it is deliberately
+// avoided here.
+void boys_series(int mmax, double x, double* out) {
+  const double ex = std::exp(-x);
+  for (int m = 0; m <= mmax; ++m) {
+    double term = 1.0 / (2.0 * m + 1.0);
+    double sum = term;
+    for (int i = 1; i < 500; ++i) {
+      term *= 2.0 * x / (2.0 * m + 2.0 * i + 1.0);
+      sum += term;
+      if (term < 1e-18 * sum) break;
+    }
+    out[m] = ex * sum;
+  }
+}
+
+}  // namespace
+
+BoysTable::BoysTable() {
+  const auto npoints = static_cast<std::size_t>(kGridMax / kGridStep) + 2;
+  table_.resize(npoints * (kStoredM + 1));
+  std::vector<double> buf(kStoredM + 1);
+  for (std::size_t p = 0; p < npoints; ++p) {
+    boys_series(kStoredM, static_cast<double>(p) * kGridStep, buf.data());
+    for (int m = 0; m <= kStoredM; ++m) {
+      table_[p * (kStoredM + 1) + m] = buf[m];
+    }
+  }
+}
+
+void BoysTable::eval(int m, double x, double* out) const {
+  assert(m <= kBoysMaxM && x >= 0.0);
+
+  if (x >= kGridMax) {
+    // Asymptotic F_0 plus stable upward recursion
+    //   F_{m+1}(x) = ((2m+1) F_m(x) - exp(-x)) / (2x).
+    const double ex = std::exp(-x);
+    out[0] = 0.5 * std::sqrt(kPi / x);
+    for (int k = 0; k < m; ++k) {
+      out[k + 1] = ((2.0 * k + 1.0) * out[k] - ex) / (2.0 * x);
+    }
+    return;
+  }
+
+  // Table + Taylor: F_m(x) = sum_k F_{m+k}(x_t) (x_t - x)^k / k!.
+  const auto point = static_cast<std::size_t>(x / kGridStep + 0.5);
+  const double xt = static_cast<double>(point) * kGridStep;
+  const double delta = xt - x;  // |delta| <= kGridStep / 2
+  const double* row = table_.data() + point * (kStoredM + 1);
+
+  for (int order = 0; order <= m; ++order) {
+    double acc = row[order];
+    double dk = 1.0;
+    for (int k = 1; k < kTaylorTerms; ++k) {
+      dk *= delta / static_cast<double>(k);
+      acc += row[order + k] * dk;
+    }
+    out[order] = acc;
+  }
+}
+
+double BoysTable::value(int m, double x) const {
+  std::vector<double> buf(m + 1);
+  eval(m, x, buf.data());
+  return buf[m];
+}
+
+const BoysTable& BoysTable::instance() {
+  static BoysTable table;
+  return table;
+}
+
+}  // namespace mako

@@ -1,0 +1,53 @@
+// Boys function F_m(x) = \int_0^1 t^{2m} exp(-x t^2) dt.
+//
+// The central quantity of the MMD r-integral stage (Eq. 4 of the paper).
+// Following Gill, Johnson & Pople's table-driven scheme, values are served
+// from a precomputed grid with a short Taylor expansion
+// (d F_m / dx = -F_{m+1}), and from the asymptotic form with stable upward
+// recursion for large arguments.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace mako {
+
+/// Highest Boys order the table serves.  (gg|gg) needs m up to 16; the
+/// Taylor expansion borrows 8 more orders.
+inline constexpr int kBoysMaxM = 28;
+
+class BoysTable {
+ public:
+  BoysTable();
+
+  /// Fills out[0..m] with F_0(x) .. F_m(x).  Requires m <= kBoysMaxM.
+  void eval(int m, double x, double* out) const;
+
+  /// Single order convenience (recomputes the chain; prefer eval()).
+  [[nodiscard]] double value(int m, double x) const;
+
+  /// Process-wide shared instance.
+  static const BoysTable& instance();
+
+ private:
+  static constexpr double kGridStep = 0.1;
+  static constexpr double kGridMax = 32.0;
+  static constexpr int kTaylorTerms = 8;
+  // Stored orders: kBoysMaxM + kTaylorTerms.
+  static constexpr int kStoredM = kBoysMaxM + kTaylorTerms;
+
+  [[nodiscard]] std::size_t grid_points() const noexcept {
+    return table_.size() / (kStoredM + 1);
+  }
+
+  // table_[point * (kStoredM+1) + m] = F_m(point * kGridStep)
+  std::vector<double> table_;
+};
+
+/// Free-function shortcut using the shared table.
+inline void boys(int m, double x, double* out) {
+  BoysTable::instance().eval(m, x, out);
+}
+
+}  // namespace mako

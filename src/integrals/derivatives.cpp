@@ -1,0 +1,279 @@
+#include "integrals/derivatives.hpp"
+
+#include <stdexcept>
+
+#include "basis/spherical.hpp"
+#include "integrals/eri_reference.hpp"
+#include "integrals/one_electron.hpp"
+#include "linalg/gemm.hpp"
+
+namespace mako {
+namespace {
+
+/// Spherical transform of a Cartesian pair block: sph = C_a * cart * C_b^T.
+MatrixD pair_to_sph(int la, int lb, const MatrixD& cart) {
+  const MatrixD& ca = cart_to_sph(la);
+  const MatrixD& cb = cart_to_sph(lb);
+  return matmul(matmul(ca, cart), cb.transposed());
+}
+
+/// Assembles the Cartesian derivative block of <d a / d A_axis | O | b> from
+/// the raised/lowered-shell blocks of operator O:
+///   d/dA phi_(ax,ay,az) = [2 alpha phi]_(..+1..)  -  a_axis [phi]_(..-1..).
+/// `raised` has shape [ncart(l+1) x nb]; `lowered` [ncart(l-1) x nb] (may be
+/// empty for l == 0).
+void assemble_bra_derivative(int la, int axis, const MatrixD& raised,
+                             const MatrixD& lowered, MatrixD& out) {
+  const int nb = static_cast<int>(raised.cols());
+  out.resize(ncart(la), nb);
+  for (int ia = 0; ia < ncart(la); ++ia) {
+    int c[3];
+    cart_components(la, ia, c[0], c[1], c[2]);
+    // Raised component index.
+    int up[3] = {c[0], c[1], c[2]};
+    ++up[axis];
+    const int iu = cart_index(la + 1, up[0], up[1], up[2]);
+    // Lowered component (if any).
+    int idn = -1;
+    if (c[axis] > 0) {
+      int dn[3] = {c[0], c[1], c[2]};
+      --dn[axis];
+      idn = cart_index(la - 1, dn[0], dn[1], dn[2]);
+    }
+    for (int ib = 0; ib < nb; ++ib) {
+      double v = raised(iu, ib);
+      if (idn >= 0) v -= c[axis] * lowered(idn, ib);
+      out(ia, ib) = v;
+    }
+  }
+}
+
+using CartBlockFn = void (*)(const Shell&, const Shell&, MatrixD&);
+
+/// Generic one-electron derivative builder for operators whose block only
+/// depends on the two shells (overlap, kinetic).
+std::array<MatrixD, 3> one_electron_derivative(const BasisSet& basis,
+                                               std::size_t atom,
+                                               CartBlockFn block_fn) {
+  const auto& shells = basis.shells();
+  std::array<MatrixD, 3> out;
+  for (auto& m : out) m.resize(basis.nbf(), basis.nbf(), 0.0);
+
+  MatrixD raised, lowered, dcart;
+  for (const Shell& a : shells) {
+    if (a.atom != atom) continue;
+    const Shell ra = raise_shell(a);
+    const Shell la = (a.l > 0) ? lower_shell(a) : Shell{};
+    for (const Shell& b : shells) {
+      raised.resize(ra.num_cart(), b.num_cart(), 0.0);
+      raised.fill(0.0);
+      block_fn(ra, b, raised);
+      if (a.l > 0) {
+        lowered.resize(la.num_cart(), b.num_cart(), 0.0);
+        lowered.fill(0.0);
+        block_fn(la, b, lowered);
+      }
+      for (int axis = 0; axis < 3; ++axis) {
+        assemble_bra_derivative(a.l, axis, raised, lowered, dcart);
+        const MatrixD sph = pair_to_sph(a.l, b.l, dcart);
+        for (int i = 0; i < a.num_sph(); ++i) {
+          for (int j = 0; j < b.num_sph(); ++j) {
+            // Bra derivative contributes at (a, b); symmetry supplies the
+            // ket-derivative term at (b, a).
+            out[axis](a.sph_offset + i, b.sph_offset + j) += sph(i, j);
+            out[axis](b.sph_offset + j, a.sph_offset + i) += sph(i, j);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Shell raise_shell(const Shell& s) {
+  Shell out = s;
+  out.l = s.l + 1;
+  for (int i = 0; i < s.nprim(); ++i) {
+    out.coefficients[i] = 2.0 * s.exponents[i] * s.coefficients[i];
+  }
+  return out;
+}
+
+Shell lower_shell(const Shell& s) {
+  if (s.l < 1) {
+    throw std::invalid_argument("lower_shell: cannot lower an s shell");
+  }
+  Shell out = s;
+  out.l = s.l - 1;
+  return out;
+}
+
+std::array<MatrixD, 3> overlap_derivative(const BasisSet& basis,
+                                          std::size_t atom) {
+  return one_electron_derivative(basis, atom, detail::overlap_cart_block);
+}
+
+std::array<MatrixD, 3> kinetic_derivative(const BasisSet& basis,
+                                          std::size_t atom) {
+  return one_electron_derivative(basis, atom, detail::kinetic_cart_block);
+}
+
+std::array<MatrixD, 3> nuclear_derivative(const BasisSet& basis,
+                                          const Molecule& mol,
+                                          std::size_t atom) {
+  const auto& shells = basis.shells();
+  std::array<MatrixD, 3> out;
+  for (auto& m : out) m.resize(basis.nbf(), basis.nbf(), 0.0);
+
+  // Pulay part: derivative of the basis functions centered on `atom`,
+  // against the full nuclear-attraction operator.
+  auto full_v_block = [&mol](const Shell& a, const Shell& b, MatrixD& cart) {
+    for (const Atom& nucleus : mol.atoms()) {
+      detail::nuclear_point_cart_block(a, b, static_cast<double>(nucleus.z),
+                                       nucleus.position, -1, cart);
+    }
+  };
+  MatrixD raised, lowered, dcart;
+  for (const Shell& a : shells) {
+    if (a.atom != atom) continue;
+    const Shell ra = raise_shell(a);
+    const Shell la = (a.l > 0) ? lower_shell(a) : Shell{};
+    for (const Shell& b : shells) {
+      raised.resize(ra.num_cart(), b.num_cart(), 0.0);
+      raised.fill(0.0);
+      full_v_block(ra, b, raised);
+      if (a.l > 0) {
+        lowered.resize(la.num_cart(), b.num_cart(), 0.0);
+        lowered.fill(0.0);
+        full_v_block(la, b, lowered);
+      }
+      for (int axis = 0; axis < 3; ++axis) {
+        assemble_bra_derivative(a.l, axis, raised, lowered, dcart);
+        const MatrixD sph = pair_to_sph(a.l, b.l, dcart);
+        for (int i = 0; i < a.num_sph(); ++i) {
+          for (int j = 0; j < b.num_sph(); ++j) {
+            out[axis](a.sph_offset + i, b.sph_offset + j) += sph(i, j);
+            out[axis](b.sph_offset + j, a.sph_offset + i) += sph(i, j);
+          }
+        }
+      }
+    }
+  }
+
+  // Hellmann-Feynman part: derivative of the operator with respect to this
+  // nucleus's position, summed over all shell pairs.
+  const Atom& nucleus = mol.atoms()[atom];
+  MatrixD hf_cart;
+  for (std::size_t sa = 0; sa < shells.size(); ++sa) {
+    for (std::size_t sb = sa; sb < shells.size(); ++sb) {
+      const Shell& a = shells[sa];
+      const Shell& b = shells[sb];
+      for (int axis = 0; axis < 3; ++axis) {
+        hf_cart.resize(a.num_cart(), b.num_cart(), 0.0);
+        hf_cart.fill(0.0);
+        detail::nuclear_point_cart_block(a, b,
+                                         static_cast<double>(nucleus.z),
+                                         nucleus.position, axis, hf_cart);
+        const MatrixD sph = pair_to_sph(a.l, b.l, hf_cart);
+        for (int i = 0; i < a.num_sph(); ++i) {
+          for (int j = 0; j < b.num_sph(); ++j) {
+            out[axis](a.sph_offset + i, b.sph_offset + j) += sph(i, j);
+            if (sa != sb) {
+              out[axis](b.sph_offset + j, a.sph_offset + i) += sph(i, j);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void eri_quartet_derivative(
+    const Shell& a, const Shell& b, const Shell& c, const Shell& d,
+    std::array<std::array<std::vector<double>, 3>, 3>& out) {
+  ReferenceEriEngine engine;
+  const Shell* shells[4] = {&a, &b, &c, &d};
+  const int nc[4] = {a.num_cart(), b.num_cart(), c.num_cart(), d.num_cart()};
+
+  std::vector<double> raised_q, lowered_q, dcart;
+  for (int center = 0; center < 3; ++center) {
+    const Shell& s = *shells[center];
+    Shell rs = raise_shell(s);
+    Shell ls_shell = (s.l > 0) ? lower_shell(s) : Shell{};
+
+    // Evaluate the shifted-class Cartesian quartets once per center; all
+    // three axes read from them.
+    const Shell* rq[4] = {shells[0], shells[1], shells[2], shells[3]};
+    rq[center] = &rs;
+    engine.compute_cartesian(*rq[0], *rq[1], *rq[2], *rq[3], raised_q);
+    if (s.l > 0) {
+      const Shell* lq[4] = {shells[0], shells[1], shells[2], shells[3]};
+      lq[center] = &ls_shell;
+      engine.compute_cartesian(*lq[0], *lq[1], *lq[2], *lq[3], lowered_q);
+    }
+
+    // Strides of the evaluated tensors.
+    int nr[4] = {nc[0], nc[1], nc[2], nc[3]};
+    nr[center] = ncart(s.l + 1);
+    int nl[4] = {nc[0], nc[1], nc[2], nc[3]};
+    nl[center] = (s.l > 0) ? ncart(s.l - 1) : 0;
+
+    const std::size_t total =
+        static_cast<std::size_t>(nc[0]) * nc[1] * nc[2] * nc[3];
+    for (int axis = 0; axis < 3; ++axis) {
+      dcart.assign(total, 0.0);
+      std::size_t idx = 0;
+      int comp[4][3];
+      for (int i0 = 0; i0 < nc[0]; ++i0) {
+        cart_components(shells[0]->l, i0, comp[0][0], comp[0][1], comp[0][2]);
+        for (int i1 = 0; i1 < nc[1]; ++i1) {
+          cart_components(shells[1]->l, i1, comp[1][0], comp[1][1],
+                          comp[1][2]);
+          for (int i2 = 0; i2 < nc[2]; ++i2) {
+            cart_components(shells[2]->l, i2, comp[2][0], comp[2][1],
+                            comp[2][2]);
+            for (int i3 = 0; i3 < nc[3]; ++i3, ++idx) {
+              cart_components(shells[3]->l, i3, comp[3][0], comp[3][1],
+                              comp[3][2]);
+              int ci[4] = {i0, i1, i2, i3};
+              // Raised term.
+              int up[3] = {comp[center][0], comp[center][1],
+                           comp[center][2]};
+              ++up[axis];
+              int ri[4] = {ci[0], ci[1], ci[2], ci[3]};
+              ri[center] = cart_index(s.l + 1, up[0], up[1], up[2]);
+              double v = raised_q[((static_cast<std::size_t>(ri[0]) * nr[1] +
+                                    ri[1]) *
+                                       nr[2] +
+                                   ri[2]) *
+                                      nr[3] +
+                                  ri[3]];
+              // Lowered term.
+              if (comp[center][axis] > 0) {
+                int dn[3] = {comp[center][0], comp[center][1],
+                             comp[center][2]};
+                --dn[axis];
+                int li[4] = {ci[0], ci[1], ci[2], ci[3]};
+                li[center] = cart_index(s.l - 1, dn[0], dn[1], dn[2]);
+                v -= comp[center][axis] *
+                     lowered_q[((static_cast<std::size_t>(li[0]) * nl[1] +
+                                 li[1]) *
+                                    nl[2] +
+                                li[2]) *
+                                   nl[3] +
+                               li[3]];
+              }
+              dcart[idx] = v;
+            }
+          }
+        }
+      }
+      quartet_cart_to_sph(a.l, b.l, c.l, d.l, dcart, out[center][axis]);
+    }
+  }
+}
+
+}  // namespace mako

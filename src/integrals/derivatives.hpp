@@ -1,0 +1,54 @@
+// Derivative integrals for analytic nuclear gradients (forces).
+//
+// The derivative of a primitive Cartesian Gaussian with respect to its own
+// center raises/lowers the angular momentum:
+//     d/dA_x  x^l e^{-a r^2}  =  2a x^{l+1} e^{-a r^2}  -  l x^{l-1} e^{-a r^2}.
+// Folding the per-primitive 2a factor into the contraction coefficients
+// turns every derivative integral into a combination of ordinary integrals
+// over "shifted shells" (l+1 with coefficients 2a_i c_i, and l-1 with the
+// plain coefficients), evaluated with the same MMD engines used for
+// energies.  The nuclear-attraction operator derivative (Hellmann-Feynman
+// term) comes out of the Hermite recursion directly: d/dC R_tuv = -R_{t+1,u,v}.
+#pragma once
+
+#include <array>
+
+#include "basis/basis_set.hpp"
+#include "chem/molecule.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mako {
+
+/// Shell with angular momentum raised by one and coefficients scaled by
+/// 2*alpha_i (the "+" branch of the derivative rule).  No renormalization.
+Shell raise_shell(const Shell& s);
+
+/// Shell with angular momentum lowered by one (plain coefficients; callers
+/// apply the per-component l_x factor).  Requires s.l >= 1.
+Shell lower_shell(const Shell& s);
+
+/// Derivative of the overlap matrix with respect to the position of
+/// `atom`: out[axis](m, n) = d S_mn / d X_atom,axis.
+std::array<MatrixD, 3> overlap_derivative(const BasisSet& basis,
+                                          std::size_t atom);
+
+/// Derivative of the kinetic-energy matrix with respect to `atom`.
+std::array<MatrixD, 3> kinetic_derivative(const BasisSet& basis,
+                                          std::size_t atom);
+
+/// Derivative of the nuclear-attraction matrix with respect to `atom`,
+/// including both the basis-function (Pulay) part and the operator
+/// (Hellmann-Feynman) part for that nucleus.
+std::array<MatrixD, 3> nuclear_derivative(const BasisSet& basis,
+                                          const Molecule& mol,
+                                          std::size_t atom);
+
+/// Derivatives of one spherical ERI quartet with respect to the centers of
+/// shells a, b and c (the d-center derivative follows from translational
+/// invariance: sum over the four centers is zero).  Layout:
+/// out[center 0..2][axis 0..2] is a flattened [na][nb][nc][nd] tensor.
+void eri_quartet_derivative(
+    const Shell& a, const Shell& b, const Shell& c, const Shell& d,
+    std::array<std::array<std::vector<double>, 3>, 3>& out);
+
+}  // namespace mako

@@ -1,0 +1,56 @@
+// Reference per-quartet ERI engine — the irregular baseline.
+//
+// This plays the role of the classical GPU implementations Mako is compared
+// against (LibintX / QUICK / GPU4PySCF kernels): each shell quartet is
+// evaluated independently with recursive MMD intermediates and scalar
+// transformation loops, the execution pattern Section 2.4.1 describes as
+// fundamentally misaligned with matrix hardware.  It is also the correctness
+// oracle every Mako kernel is validated against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "basis/basis_set.hpp"
+
+namespace mako {
+
+/// Per-quartet reference engine.
+class ReferenceEriEngine {
+ public:
+  /// `max_supported_l` caps the angular momentum (QUICK-role configuration
+  /// uses 3, reproducing its missing g-function support; default supports
+  /// everything this build tabulates).
+  explicit ReferenceEriEngine(int max_supported_l = 6)
+      : max_supported_l_(max_supported_l) {}
+
+  [[nodiscard]] int max_supported_l() const noexcept {
+    return max_supported_l_;
+  }
+
+  /// Computes the spherical quartet (ab|cd) into `out`, row-major
+  /// [na][nb][nc][nd] with n* = 2l*+1.  Throws std::domain_error when any
+  /// shell exceeds max_supported_l (the QUICK-role failure mode).
+  void compute(const Shell& a, const Shell& b, const Shell& c, const Shell& d,
+               std::vector<double>& out) const;
+
+  /// Cartesian variant (pre-spherical-transform), used by unit tests.
+  void compute_cartesian(const Shell& a, const Shell& b, const Shell& c,
+                         const Shell& d, std::vector<double>& out) const;
+
+  /// Number of double-precision FLOPs the engine executes for one quartet of
+  /// this class (used by the scaling cost model).
+  static double quartet_flop_estimate(int la, int lb, int lc, int ld,
+                                      int kab, int kcd);
+
+ private:
+  int max_supported_l_;
+};
+
+/// Transforms a Cartesian quartet tensor [ncart_ab x ncart_cd] to the
+/// spherical basis [nsph_ab x nsph_cd] (shared by both engines).
+void quartet_cart_to_sph(int la, int lb, int lc, int ld,
+                         const std::vector<double>& cart,
+                         std::vector<double>& sph);
+
+}  // namespace mako

@@ -1,0 +1,35 @@
+#include "integrals/schwarz.hpp"
+
+#include <cmath>
+
+#include "integrals/eri_reference.hpp"
+
+namespace mako {
+
+MatrixD schwarz_bounds(const BasisSet& basis) {
+  const auto& shells = basis.shells();
+  const std::size_t n = shells.size();
+  MatrixD q(n, n, 0.0);
+  ReferenceEriEngine engine;
+  std::vector<double> block;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      engine.compute(shells[i], shells[j], shells[i], shells[j], block);
+      double mx = 0.0;
+      for (double v : block) mx = std::max(mx, std::fabs(v));
+      const double bound = std::sqrt(mx);
+      q(i, j) = bound;
+      q(j, i) = bound;
+    }
+  }
+  return q;
+}
+
+IntegralClass classify_integral(double weighted_bound, double fp64_threshold,
+                                double prune_threshold) {
+  if (weighted_bound >= fp64_threshold) return IntegralClass::kFull;
+  if (weighted_bound >= prune_threshold) return IntegralClass::kQuantized;
+  return IntegralClass::kPruned;
+}
+
+}  // namespace mako

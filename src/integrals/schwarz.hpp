@@ -1,0 +1,28 @@
+// Cauchy-Schwarz screening bounds: |(ab|cd)| <= Q_ab * Q_cd with
+// Q_ab = sqrt(max |(ab|ab)|).  QuantMako's convergence-aware scheduler uses
+// these, density-weighted, to route each quartet to an FP64 kernel, a
+// quantized kernel, or the pruned bucket (Section 3.2.3).
+#pragma once
+
+#include "basis/basis_set.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mako {
+
+/// Shell-pair Schwarz bound matrix Q (num_shells x num_shells, symmetric,
+/// non-negative).
+MatrixD schwarz_bounds(const BasisSet& basis);
+
+/// Precision route of a quartet under the paper's integral-level scheduling.
+enum class IntegralClass {
+  kFull,       ///< critical: evaluate at FP64
+  kQuantized,  ///< moderate: evaluate with the quantized kernel
+  kPruned,     ///< negligible: skip entirely
+};
+
+/// Classifies a quartet from its density-weighted Schwarz estimate
+/// `q_ab * q_cd * d_max` against the two thresholds.
+IntegralClass classify_integral(double weighted_bound, double fp64_threshold,
+                                double prune_threshold);
+
+}  // namespace mako

@@ -1,0 +1,337 @@
+#include "kernelmako/batched_eri.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "basis/spherical.hpp"
+#include "integrals/hermite.hpp"
+#include "util/timer.hpp"
+
+namespace mako {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Striped -> blocked conversion of the batch r-integral tensor.
+/// striped[h * nq + q] -> blocked[q * nh + h].
+///
+/// The swizzled variant stages 32x32 tiles through a TileBuffer using the
+/// XOR layout of Eq. 10: rows are written in striped order and columns read
+/// in blocked order, both conflict-free — this is the in-SMEM transpose of
+/// Section 3.1.2.  The naive variant models the direct strided gather.
+void striped_to_blocked(const double* striped, double* blocked, std::size_t nh,
+                        std::size_t nq, bool use_swizzle) {
+  if (!use_swizzle) {
+    for (std::size_t h = 0; h < nh; ++h) {
+      for (std::size_t q = 0; q < nq; ++q) {
+        blocked[q * nh + h] = striped[h * nq + q];
+      }
+    }
+    return;
+  }
+
+  // Tiled transpose through a swizzled 32x32 staging tile.  The XOR column
+  // mapping (Eq. 10) is applied inline; on the host this doubles as a
+  // cache-blocked transpose, on the modeled device it is the conflict-free
+  // in-SMEM layout conversion (verified separately via TileBuffer).
+  constexpr std::size_t kTile = 32;
+  double tile[kTile * kTile];
+  for (std::size_t h0 = 0; h0 < nh; h0 += kTile) {
+    const std::size_t hN = std::min(kTile, nh - h0);
+    for (std::size_t q0 = 0; q0 < nq; q0 += kTile) {
+      const std::size_t qN = std::min(kTile, nq - q0);
+      // Coalesced load: lanes sweep q for each h row; store swizzled.
+      for (std::size_t h = 0; h < hN; ++h) {
+        const double* src = striped + (h0 + h) * nq + q0;
+        double* row = tile + h * kTile;
+        for (std::size_t q = 0; q < qN; ++q) row[q ^ h] = src[q];
+      }
+      // Conflict-free transposed read: lanes sweep h for each q.
+      for (std::size_t q = 0; q < qN; ++q) {
+        double* dst = blocked + (q0 + q) * nh + h0;
+        for (std::size_t h = 0; h < hN; ++h) dst[h] = tile[h * kTile + (q ^ h)];
+      }
+    }
+  }
+}
+
+/// Builds the [p~|q~] matrix (Eq. 6) of one quartet from its blocked
+/// r-integrals: pq(hp, hq) = (-1)^{|q~|} R_{p~+q~}, optionally scaled.
+void assemble_pq(const double* r, const int* combined, const double* sign_cd,
+                 int nhb, int nhk, double scale, double* pq) {
+  for (int hp = 0; hp < nhb; ++hp) {
+    const int* comb = combined + static_cast<std::size_t>(hp) * nhk;
+    double* row = pq + static_cast<std::size_t>(hp) * nhk;
+    for (int hq = 0; hq < nhk; ++hq) {
+      row[hq] = scale * sign_cd[hq] * r[comb[hq]];
+    }
+  }
+}
+
+double max_abs(const double* p, std::size_t n) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::fabs(p[i]));
+  return m;
+}
+
+}  // namespace
+
+EriClassKey BatchedEriEngine::classify(const QuartetRef& q) {
+  EriClassKey key;
+  key.la = q.a->l;
+  key.lb = q.b->l;
+  key.lc = q.c->l;
+  key.ld = q.d->l;
+  key.kab = q.a->nprim() * q.b->nprim();
+  key.kcd = q.c->nprim() * q.d->nprim();
+  return key;
+}
+
+BatchStats BatchedEriEngine::compute_batch(
+    const EriClassKey& key, std::span<const QuartetRef> batch,
+    std::vector<std::vector<double>>& out) const {
+  Timer timer;
+  BatchStats stats;
+  const std::size_t nq = batch.size();
+  out.resize(nq);
+  if (nq == 0) return stats;
+
+  const int nhb = key.nherm_bra();
+  const int nhk = key.nherm_ket();
+  const int ncb = key.ncart_bra();
+  const int nck = key.ncart_ket();
+  const int ltot = key.ltot();
+  const HermiteBasis& hb_ab = HermiteBasis::get(key.lab());
+  const HermiteBasis& hb_cd = HermiteBasis::get(key.lcd());
+  const HermiteBasis& hb_tot = HermiteBasis::get(ltot);
+  const int nht = hb_tot.size();
+
+  // Class-static tables (CompilerMako would bake these into the kernel).
+  std::vector<double> sign_cd(nhk);
+  for (int h = 0; h < nhk; ++h) {
+    const auto& q = hb_cd.component(h);
+    sign_cd[h] = ((q[0] + q[1] + q[2]) % 2 == 0) ? 1.0 : -1.0;
+  }
+  std::vector<int> combined(static_cast<std::size_t>(nhb) * nhk);
+  for (int hp = 0; hp < nhb; ++hp) {
+    const auto& p = hb_ab.component(hp);
+    for (int hq = 0; hq < nhk; ++hq) {
+      const auto& q = hb_cd.component(hq);
+      combined[static_cast<std::size_t>(hp) * nhk + hq] =
+          hb_tot.index(p[0] + q[0], p[1] + q[1], p[2] + q[2]);
+    }
+  }
+
+  // --- Precompute per-quartet primitive pairs and E operands ---------------
+  std::vector<std::vector<PrimPair>> bra_pairs(nq), ket_pairs(nq);
+  // braET[q * kab + jp]: (ncb x nhb); ketE[q * kcd + kp]: (nhk x nck).
+  std::vector<MatrixD> bra_et(nq * key.kab), ket_e(nq * key.kcd);
+  {
+    MatrixD scratch;
+    for (std::size_t q = 0; q < nq; ++q) {
+      const QuartetRef& ref = batch[q];
+      if (ref.a->l != key.la || ref.b->l != key.lb || ref.c->l != key.lc ||
+          ref.d->l != key.ld) {
+        throw std::invalid_argument("compute_batch: heterogeneous batch");
+      }
+      bra_pairs[q] =
+          make_prim_pairs(ref.a->center, ref.a->exponents, ref.a->coefficients,
+                          ref.b->center, ref.b->exponents, ref.b->coefficients);
+      ket_pairs[q] =
+          make_prim_pairs(ref.c->center, ref.c->exponents, ref.c->coefficients,
+                          ref.d->center, ref.d->exponents, ref.d->coefficients);
+      if (static_cast<int>(bra_pairs[q].size()) != key.kab ||
+          static_cast<int>(ket_pairs[q].size()) != key.kcd) {
+        throw std::invalid_argument(
+            "compute_batch: contraction degree mismatch with class key");
+      }
+      for (int jp = 0; jp < key.kab; ++jp) {
+        const PrimPair& pp = bra_pairs[q][jp];
+        build_e_matrix(key.la, key.lb, ref.a->center, ref.b->center, pp.alpha,
+                       pp.beta, pp.coef, scratch);
+        bra_et[q * key.kab + jp] = scratch.transposed();
+      }
+      for (int kp = 0; kp < key.kcd; ++kp) {
+        const PrimPair& pp = ket_pairs[q][kp];
+        build_e_matrix(key.lc, key.ld, ref.c->center, ref.d->center, pp.alpha,
+                       pp.beta, pp.coef, ket_e[q * key.kcd + kp]);
+      }
+    }
+  }
+
+  // --- Group scaling for quantized execution (Section 3.2.1) ---------------
+  // Scales are per class & per operand group; dequantization happens at the
+  // FP32->FP64 widening of each GEMM (dual-stage accumulation).
+  const bool quant = config_.quantized();
+  double s_bra = 1.0, s_ket = 1.0;
+  if (quant && config_.group_scaling) {
+    double m_bra = 0.0, m_ket = 0.0;
+    for (const auto& m : bra_et) m_bra = std::max(m_bra, max_abs(m.data(), m.size()));
+    for (const auto& m : ket_e) m_ket = std::max(m_ket, max_abs(m.data(), m.size()));
+    if (m_bra > 0.0) s_bra = 1.0 / m_bra;
+    if (m_ket > 0.0) s_ket = 1.0 / m_ket;
+    for (auto& m : bra_et) m *= s_bra;
+    for (auto& m : ket_e) m *= s_ket;
+  }
+
+  // --- Working buffers ------------------------------------------------------
+  std::vector<double> r_striped(static_cast<std::size_t>(nht) * nq);
+  std::vector<double> r_blocked(r_striped.size());
+  std::vector<double> r_tmp(nht);
+  std::vector<double> abq(nq * static_cast<std::size_t>(ncb) * nhk, 0.0);
+  std::vector<double> cart(nq * static_cast<std::size_t>(ncb) * nck, 0.0);
+  std::vector<double> pq_one(static_cast<std::size_t>(nhb) * nhk);
+  // Unfused mode stages every quartet's [p~|q~] through "global memory".
+  std::vector<double> pq_all;
+  const bool fully_fused =
+      config_.fuse_gemms && key.kab == 1 && key.kcd == 1;
+  const bool stage_pq_globally = !config_.fuse_gemms;
+  if (stage_pq_globally) pq_all.resize(nq * pq_one.size());
+
+  const GemmConfig& gc = config_.gemm;
+  const bool naive_fp16 = quant && gc.precision == Precision::kFP16 &&
+                          !config_.dual_stage_accumulation;
+  auto run_gemm = [&](const double* a, const double* b, double* c, int m,
+                      int n, int k, double alpha, double beta) {
+    if (naive_fp16) {
+      gemm_fp16_naive(a, b, c, m, n, k, alpha, beta);
+    } else if (quant) {
+      gemm_quantized(a, b, c, m, n, k, alpha, beta, gc);
+    } else {
+      gemm_fp64(a, b, c, m, n, k, alpha, beta, gc);
+    }
+    stats.gemm_flops += gemm_flops(m, n, k);
+  };
+
+  const std::size_t abq_stride = static_cast<std::size_t>(ncb) * nhk;
+  const std::size_t cart_stride = static_cast<std::size_t>(ncb) * nck;
+
+  for (int kp = 0; kp < key.kcd; ++kp) {
+    if (key.kcd > 1 || kp == 0) {
+      std::fill(abq.begin(), abq.end(), 0.0);
+    }
+    for (int jp = 0; jp < key.kab; ++jp) {
+      // Stage 1: r-integrals, produced striped (quartet-fastest), the order
+      // a quartet-per-thread kernel writes coalesced.
+      for (std::size_t q = 0; q < nq; ++q) {
+        const PrimPair& bra = bra_pairs[q][jp];
+        const PrimPair& ket = ket_pairs[q][kp];
+        const double denom = bra.p * ket.p * std::sqrt(bra.p + ket.p);
+        const double pref = 2.0 * std::pow(kPi, 2.5) / denom;
+        const double alpha_rq = bra.p * ket.p / (bra.p + ket.p);
+        const Vec3 pq_vec{bra.center[0] - ket.center[0],
+                          bra.center[1] - ket.center[1],
+                          bra.center[2] - ket.center[2]};
+        compute_r_integrals(ltot, alpha_rq, pq_vec, pref, r_tmp.data());
+        for (int h = 0; h < nht; ++h) {
+          r_striped[static_cast<std::size_t>(h) * nq + q] = r_tmp[h];
+        }
+      }
+      stats.scalar_flops += static_cast<double>(nq) * nht * (ltot + 2) * 4.0;
+      stats.global_bytes += 8.0 * nq * nht;
+      stats.kernel_launches += 1;
+
+      // Stage 2: layout conversion (swizzled in-SMEM transpose vs explicit
+      // global transpose — the latter costs an extra kernel + traffic).
+      striped_to_blocked(r_striped.data(), r_blocked.data(), nht, nq,
+                         config_.use_swizzle);
+      if (!config_.use_swizzle) {
+        stats.global_bytes += 16.0 * nq * nht;
+        stats.kernel_launches += 1;
+      }
+
+      // Quantized pq scale for this primitive-pair slice.
+      double s_pq = 1.0;
+      if (quant && config_.group_scaling) {
+        const double m = max_abs(r_blocked.data(), r_blocked.size());
+        if (m > 0.0) s_pq = 1.0 / m;
+      }
+      const double dequant = 1.0 / (s_pq * s_bra);
+
+      // Stage 3: pq assembly + GEMM1 (Eq. 7 first transform).
+      if (stage_pq_globally) {
+        // Unfused: one kernel writes all [p~|q~] to global memory...
+        for (std::size_t q = 0; q < nq; ++q) {
+          assemble_pq(r_blocked.data() + q * nht, combined.data(),
+                      sign_cd.data(), nhb, nhk, s_pq,
+                      pq_all.data() + q * pq_one.size());
+        }
+        stats.global_bytes += 2.0 * static_cast<double>(bytes_per_element(gc.precision)) *
+            nq * pq_one.size();
+        stats.kernel_launches += 1;
+        // ... and a second kernel runs the batched GEMM over them.
+        for (std::size_t q = 0; q < nq; ++q) {
+          run_gemm(bra_et[q * key.kab + jp].data(),
+                   pq_all.data() + q * pq_one.size(),
+                   abq.data() + q * abq_stride, ncb, nhk, nhb,
+                   quant ? dequant : 1.0, 1.0);
+        }
+        stats.kernel_launches += 1;
+      } else {
+        // Fused: assembly feeds the GEMM while the tile is hot.
+        for (std::size_t q = 0; q < nq; ++q) {
+          assemble_pq(r_blocked.data() + q * nht, combined.data(),
+                      sign_cd.data(), nhb, nhk, s_pq, pq_one.data());
+          run_gemm(bra_et[q * key.kab + jp].data(), pq_one.data(),
+                   abq.data() + q * abq_stride, ncb, nhk, nhb,
+                   quant ? dequant : 1.0, 1.0);
+          if (fully_fused) {
+            // GEMM coalescing (Eq. 11): consume (ab|q~] immediately.
+            double* slice = abq.data() + q * abq_stride;
+            double s_abq = 1.0;
+            if (quant && config_.group_scaling) {
+              const double m = max_abs(slice, abq_stride);
+              if (m > 0.0) s_abq = 1.0 / m;
+              for (std::size_t i = 0; i < abq_stride; ++i) slice[i] *= s_abq;
+            }
+            run_gemm(slice, ket_e[q * key.kcd + kp].data(),
+                     cart.data() + q * cart_stride, ncb, nck, nhk,
+                     quant ? 1.0 / (s_ket * s_abq) : 1.0, 1.0);
+          }
+        }
+        stats.kernel_launches += 1;
+      }
+      stats.scalar_flops += 2.0 * nq * nhb * nhk;
+    }
+
+    // Stage 4: GEMM2 (Eq. 7 second transform), skipped when coalesced above.
+    if (!fully_fused) {
+      double s_abq = 1.0;
+      if (quant && config_.group_scaling) {
+        const double m = max_abs(abq.data(), abq.size());
+        if (m > 0.0) s_abq = 1.0 / m;
+        for (double& v : abq) v *= s_abq;
+      }
+      for (std::size_t q = 0; q < nq; ++q) {
+        run_gemm(abq.data() + q * abq_stride, ket_e[q * key.kcd + kp].data(),
+                 cart.data() + q * cart_stride, ncb, nck, nhk,
+                 quant ? 1.0 / (s_ket * s_abq) : 1.0, 1.0);
+      }
+      stats.global_bytes += static_cast<double>(quant ? 4 : 8) * nq *
+                             (abq_stride + cart_stride);
+      stats.kernel_launches += 1;
+    }
+  }
+
+  // Stage 5: Cartesian -> spherical, two batched GEMMs.
+  const MatrixD& kab_sph = cart_to_sph_pair(key.la, key.lb);
+  const MatrixD kcd_sph_t = cart_to_sph_pair(key.lc, key.ld).transposed();
+  const int nsb = key.nsph_bra();
+  const int nsk = key.nsph_ket();
+  std::vector<double> tmp(static_cast<std::size_t>(nsb) * nck);
+  for (std::size_t q = 0; q < nq; ++q) {
+    out[q].assign(static_cast<std::size_t>(nsb) * nsk, 0.0);
+    gemm_fp64(kab_sph.data(), cart.data() + q * cart_stride, tmp.data(), nsb,
+              nck, ncb, 1.0, 0.0, gc);
+    gemm_fp64(tmp.data(), kcd_sph_t.data(), out[q].data(), nsb, nsk, nck, 1.0,
+              0.0, gc);
+    stats.gemm_flops += gemm_flops(nsb, nck, ncb) + gemm_flops(nsb, nsk, nck);
+  }
+  stats.kernel_launches += 2;
+  stats.global_bytes += 8.0 * nq * (cart_stride + nsb * nsk);
+
+  stats.wall_seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace mako

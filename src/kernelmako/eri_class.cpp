@@ -1,0 +1,20 @@
+#include "kernelmako/eri_class.hpp"
+
+#include <cstdio>
+
+namespace mako {
+namespace {
+char l_letter(int l) {
+  static const char letters[] = "spdfghik";
+  return (l >= 0 && l < 8) ? letters[l] : '?';
+}
+}  // namespace
+
+std::string EriClassKey::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%c%c|%c%c) K{%d,%d}", l_letter(la),
+                l_letter(lb), l_letter(lc), l_letter(ld), kab, kcd);
+  return buf;
+}
+
+}  // namespace mako

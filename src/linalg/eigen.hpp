@@ -1,0 +1,50 @@
+// Dense symmetric eigensolver and the orthogonalization helpers built on it.
+//
+// Fock-matrix diagonalization is one of the three DFT stages (Section 2.1);
+// the paper delegates it to iterative MatMul-based eigensolvers on GPU.  Here
+// we provide a robust direct solver (Householder tridiagonalization followed
+// by implicit-shift QL) plus a subspace-iteration solver that expresses the
+// diagonalization through GEMMs, mirroring the MatMul-aligned formulation.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace mako {
+
+/// Result of a symmetric eigendecomposition A = V diag(w) V^T.
+struct EigenResult {
+  VectorD eigenvalues;   ///< ascending
+  MatrixD eigenvectors;  ///< column i is the eigenvector for eigenvalues[i]
+};
+
+/// Full eigendecomposition of a symmetric matrix (direct method).
+/// Throws std::invalid_argument if `a` is not square.
+EigenResult eigh(const MatrixD& a);
+
+/// Blocked subspace iteration for the lowest `nev` eigenpairs, expressed
+/// entirely through GEMMs + small dense solves.  This is the MatMul-aligned
+/// iterative eigensolver path; it is validated against eigh() in tests.
+/// `max_iter`/`tol` bound the orthogonal iteration.
+EigenResult eigh_subspace(const MatrixD& a, std::size_t nev,
+                          std::size_t max_iter = 200, double tol = 1e-10);
+
+/// Symmetric (Löwdin) inverse square root S^{-1/2}; eigenvalues below
+/// `lindep_threshold` are dropped (canonical orthogonalization), so the
+/// result may be rectangular n x n_kept.
+MatrixD inverse_sqrt(const MatrixD& s, double lindep_threshold = 1e-9);
+
+/// In-place Cholesky factorization A = L L^T (lower). Returns false if the
+/// matrix is not positive definite.
+bool cholesky(MatrixD& a);
+
+/// Solves the symmetric linear system A x = b via Cholesky with diagonal
+/// regularization fallback; used by DIIS.
+VectorD solve_spd(MatrixD a, VectorD b);
+
+/// Solves a general square linear system via partial-pivot LU; used by the
+/// DIIS extrapolation (whose B matrix is symmetric indefinite).
+VectorD solve_lu(MatrixD a, VectorD b);
+
+}  // namespace mako

@@ -1,0 +1,223 @@
+#include "linalg/gemm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace mako {
+namespace {
+
+// Inner micro-kernel: processes one block tile with the K loop unrolled by U.
+// The unroll factor is the host-side realization of the paper's implicit
+// instruction parallelism: independent K iterations are fused so the
+// out-of-order core (standing in for the warp scheduler) can overlap them.
+template <typename T, int U>
+void tile_kernel(const T* a, const T* b, T* c, std::size_t lda, std::size_t ldb,
+                 std::size_t ldc, std::size_t mi, std::size_t ni,
+                 std::size_t ki) {
+  for (std::size_t i = 0; i < mi; ++i) {
+    const T* arow = a + i * lda;
+    T* crow = c + i * ldc;
+    std::size_t k = 0;
+    for (; k + U <= ki; k += U) {
+      T aval[U];
+      for (int u = 0; u < U; ++u) aval[u] = arow[k + u];
+      const T* brow[U];
+      for (int u = 0; u < U; ++u) brow[u] = b + (k + u) * ldb;
+      for (std::size_t j = 0; j < ni; ++j) {
+        T acc = crow[j];
+        for (int u = 0; u < U; ++u) acc += aval[u] * brow[u][j];
+        crow[j] = acc;
+      }
+    }
+    for (; k < ki; ++k) {
+      const T aval = arow[k];
+      const T* brow = b + k * ldb;
+      for (std::size_t j = 0; j < ni; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+template <typename T>
+void tile_dispatch(int ilp, const T* a, const T* b, T* c, std::size_t lda,
+                   std::size_t ldb, std::size_t ldc, std::size_t mi,
+                   std::size_t ni, std::size_t ki) {
+  switch (ilp) {
+    case 1:
+      tile_kernel<T, 1>(a, b, c, lda, ldb, ldc, mi, ni, ki);
+      break;
+    case 2:
+      tile_kernel<T, 2>(a, b, c, lda, ldb, ldc, mi, ni, ki);
+      break;
+    case 4:
+      tile_kernel<T, 4>(a, b, c, lda, ldb, ldc, mi, ni, ki);
+      break;
+    case 8:
+      tile_kernel<T, 8>(a, b, c, lda, ldb, ldc, mi, ni, ki);
+      break;
+    case 16:
+      tile_kernel<T, 16>(a, b, c, lda, ldb, ldc, mi, ni, ki);
+      break;
+    case 32:
+      tile_kernel<T, 32>(a, b, c, lda, ldb, ldc, mi, ni, ki);
+      break;
+    default:
+      tile_kernel<T, 4>(a, b, c, lda, ldb, ldc, mi, ni, ki);
+      break;
+  }
+}
+
+template <typename T>
+void gemm_tiled(const T* a, const T* b, T* c, std::size_t m, std::size_t n,
+                std::size_t k, T alpha, T beta, const GemmConfig& cfg) {
+  // Apply beta scaling once up front.
+  if (beta == T{0}) {
+    std::fill(c, c + m * n, T{0});
+  } else if (beta != T{1}) {
+    for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  if (alpha == T{0} || m == 0 || n == 0 || k == 0) return;
+
+  const std::size_t tm = static_cast<std::size_t>(std::max(cfg.tile_m, 1));
+  const std::size_t tn = static_cast<std::size_t>(std::max(cfg.tile_n, 1));
+  const std::size_t tk = static_cast<std::size_t>(std::max(cfg.tile_k, 1));
+
+  // Scale A once into a staging tile when alpha != 1 so the micro-kernel
+  // stays a pure multiply-accumulate.
+  std::vector<T> scaled_a;
+  const T* a_eff = a;
+  if (alpha != T{1}) {
+    scaled_a.assign(a, a + m * k);
+    for (auto& v : scaled_a) v *= alpha;
+    a_eff = scaled_a.data();
+  }
+
+  for (std::size_t i0 = 0; i0 < m; i0 += tm) {
+    const std::size_t mi = std::min(tm, m - i0);
+    for (std::size_t k0 = 0; k0 < k; k0 += tk) {
+      const std::size_t ki = std::min(tk, k - k0);
+      for (std::size_t j0 = 0; j0 < n; j0 += tn) {
+        const std::size_t ni = std::min(tn, n - j0);
+        tile_dispatch<T>(cfg.ilp, a_eff + i0 * k + k0, b + k0 * n + j0,
+                         c + i0 * n + j0, k, n, n, mi, ni, ki);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_fp64(const double* a, const double* b, double* c, std::size_t m,
+               std::size_t n, std::size_t k, double alpha, double beta,
+               const GemmConfig& cfg) {
+  gemm_tiled<double>(a, b, c, m, n, k, alpha, beta, cfg);
+}
+
+void gemm_fp32(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t n, std::size_t k, float alpha, float beta,
+               const GemmConfig& cfg) {
+  gemm_tiled<float>(a, b, c, m, n, k, alpha, beta, cfg);
+}
+
+void gemm_quantized(const double* a, const double* b, double* c, std::size_t m,
+                    std::size_t n, std::size_t k, double alpha, double beta,
+                    const GemmConfig& cfg) {
+  if (cfg.precision == Precision::kFP64) {
+    gemm_fp64(a, b, c, m, n, k, alpha, beta, cfg);
+    return;
+  }
+
+  // Stage operands at the requested precision.  The product of two FP16
+  // values is exactly representable in FP32, so rounding on entry followed by
+  // an FP32 kernel reproduces tensor-core FP16-multiply/FP32-accumulate.
+  // Thread-local scratch keeps per-call staging allocation-free in the hot
+  // batched-ERI loops.
+  static thread_local std::vector<float> qa, qb, acc;
+  qa.resize(m * k);
+  qb.resize(k * n);
+  switch (cfg.precision) {
+    case Precision::kFP16:
+      for (std::size_t i = 0; i < m * k; ++i)
+        qa[i] = half_t(static_cast<float>(a[i])).to_float();
+      for (std::size_t i = 0; i < k * n; ++i)
+        qb[i] = half_t(static_cast<float>(b[i])).to_float();
+      break;
+    case Precision::kTF32:
+      for (std::size_t i = 0; i < m * k; ++i)
+        qa[i] = to_tf32(static_cast<float>(a[i]));
+      for (std::size_t i = 0; i < k * n; ++i)
+        qb[i] = to_tf32(static_cast<float>(b[i]));
+      break;
+    case Precision::kFP32:
+    default:
+      for (std::size_t i = 0; i < m * k; ++i) qa[i] = static_cast<float>(a[i]);
+      for (std::size_t i = 0; i < k * n; ++i) qb[i] = static_cast<float>(b[i]);
+      break;
+  }
+
+  // FP32 accumulation in-kernel (stage one of dual-stage accumulation).
+  acc.assign(m * n, 0.0f);
+  GemmConfig fcfg = cfg;
+  fcfg.precision = Precision::kFP32;
+  gemm_fp32(qa.data(), qb.data(), acc.data(), m, n, k, 1.0f, 0.0f, fcfg);
+
+  // Stage two: widen into the FP64 destination.
+  for (std::size_t i = 0; i < m * n; ++i) {
+    c[i] = beta * c[i] + alpha * static_cast<double>(acc[i]);
+  }
+}
+
+void gemm_fp16_naive(const double* a, const double* b, double* c,
+                     std::size_t m, std::size_t n, std::size_t k, double alpha,
+                     double beta) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      // FP16 accumulator: every partial sum is rounded back to binary16,
+      // so large partial sums swallow small addends (the failure mode
+      // dual-stage accumulation prevents).
+      half_t acc(0.0f);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float qa = half_t(static_cast<float>(a[i * k + kk])).to_float();
+        const float qb = half_t(static_cast<float>(b[kk * n + j])).to_float();
+        acc = half_t(acc.to_float() + qa * qb);
+      }
+      c[i * n + j] = beta * c[i * n + j] +
+                     alpha * static_cast<double>(acc.to_float());
+    }
+  }
+}
+
+void gemm(const MatrixD& a, Trans ta, const MatrixD& b, Trans tb, MatrixD& c,
+          double alpha, double beta) {
+  MatrixD at, bt;
+  const MatrixD* pa = &a;
+  const MatrixD* pb = &b;
+  if (ta == Trans::kYes) {
+    at = a.transposed();
+    pa = &at;
+  }
+  if (tb == Trans::kYes) {
+    bt = b.transposed();
+    pb = &bt;
+  }
+  assert(pa->cols() == pb->rows());
+  if (c.rows() != pa->rows() || c.cols() != pb->cols()) {
+    c.resize(pa->rows(), pb->cols());
+  }
+  gemm_fp64(pa->data(), pb->data(), c.data(), pa->rows(), pb->cols(),
+            pa->cols(), alpha, beta);
+}
+
+MatrixD matmul(const MatrixD& a, const MatrixD& b) {
+  MatrixD c(a.rows(), b.cols());
+  gemm(a, Trans::kNo, b, Trans::kNo, c);
+  return c;
+}
+
+MatrixD matmul(const MatrixD& a, Trans ta, const MatrixD& b, Trans tb) {
+  MatrixD c;
+  gemm(a, ta, b, tb, c);
+  return c;
+}
+
+}  // namespace mako

@@ -1,0 +1,86 @@
+// Multi-precision tiled GEMM micro-kernels.
+//
+// This is the host-side analogue of the CUTLASS kernels Mako instantiates on
+// GPUs.  The kernels are parameterized exactly like a CUTLASS threadblock
+// tile: (tile_m, tile_n, tile_k) block shape plus an inner-loop unroll factor
+// that plays the role of the paper's implicit-ILP scheduling factor
+// (Section 3.1.1).  CompilerMako's autotuner searches this configuration
+// space empirically, just as the paper's Algorithm 2 does over CUTLASS
+// primitives.
+//
+// Precision behaviour mirrors tensor cores: FP16 and TF32 operands are
+// rounded with round-to-nearest-even on entry and all products are
+// accumulated in FP32 (the MMA contract), reproducing hardware numerics
+// bit-for-bit up to FMA contraction.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+#include "util/precision.hpp"
+
+namespace mako {
+
+/// CUTLASS-style kernel configuration explored by CompilerMako.
+struct GemmConfig {
+  int tile_m = 48;  ///< rows of C computed per block tile
+  int tile_n = 48;  ///< cols of C computed per block tile
+  int tile_k = 32;  ///< reduction depth staged per iteration
+  int ilp = 4;      ///< inner-loop unroll (implicit instruction parallelism)
+  Precision precision = Precision::kFP64;
+
+  [[nodiscard]] bool operator==(const GemmConfig& o) const noexcept {
+    return tile_m == o.tile_m && tile_n == o.tile_n && tile_k == o.tile_k &&
+           ilp == o.ilp && precision == o.precision;
+  }
+};
+
+// --- Raw pointer kernels (row-major, C = alpha*op(A)*op(B) + beta*C) --------
+
+/// FP64 GEMM, C[MxN] += A[MxK] * B[KxN].  Tiling/unroll from `cfg`.
+void gemm_fp64(const double* a, const double* b, double* c, std::size_t m,
+               std::size_t n, std::size_t k, double alpha = 1.0,
+               double beta = 0.0, const GemmConfig& cfg = {});
+
+/// FP32 GEMM with FP32 accumulation.
+void gemm_fp32(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t n, std::size_t k, float alpha = 1.0f,
+               float beta = 0.0f, const GemmConfig& cfg = {});
+
+/// Quantized GEMM: double inputs are rounded through `cfg.precision`
+/// (FP16/TF32/FP32) on entry, multiplied at that precision, and accumulated
+/// in FP32; the FP32 result is then widened into the FP64 output.  This is
+/// QuantMako's dual-stage accumulation building block: in-kernel FP32
+/// accumulation followed by FP64 accumulation at the Fock stage.
+void gemm_quantized(const double* a, const double* b, double* c, std::size_t m,
+                    std::size_t n, std::size_t k, double alpha, double beta,
+                    const GemmConfig& cfg);
+
+/// Naive FP16 GEMM: operands AND the running accumulator are rounded to
+/// binary16 at every step.  This is the "Baseline FP16" kernel of the
+/// paper's Table 2 — the strawman dual-stage accumulation exists to beat.
+void gemm_fp16_naive(const double* a, const double* b, double* c,
+                     std::size_t m, std::size_t n, std::size_t k, double alpha,
+                     double beta);
+
+// --- Matrix convenience wrappers (FP64) -------------------------------------
+
+enum class Trans { kNo, kYes };
+
+/// General C = alpha * op(A) * op(B) + beta * C over Matrix<double>.
+void gemm(const MatrixD& a, Trans ta, const MatrixD& b, Trans tb, MatrixD& c,
+          double alpha = 1.0, double beta = 0.0);
+
+/// Returns A * B.
+MatrixD matmul(const MatrixD& a, const MatrixD& b);
+
+/// Returns op(A) * op(B).
+MatrixD matmul(const MatrixD& a, Trans ta, const MatrixD& b, Trans tb);
+
+/// FLOP count of an (m,n,k) GEMM (2*m*n*k).
+constexpr double gemm_flops(std::size_t m, std::size_t n, std::size_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+}  // namespace mako

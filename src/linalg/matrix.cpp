@@ -1,0 +1,45 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+namespace mako {
+
+double frobenius_norm(const MatrixD& m) {
+  double acc = 0.0;
+  const double* p = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) acc += p[i] * p[i];
+  return std::sqrt(acc);
+}
+
+double max_abs_diff(const MatrixD& a, const MatrixD& b) {
+  double worst = 0.0;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(pa[i] - pb[i]));
+  }
+  return worst;
+}
+
+double rmse(const double* a, const double* b, std::size_t n) {
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(n));
+}
+
+double rmse(const MatrixD& a, const MatrixD& b) {
+  return rmse(a.data(), b.data(), a.size());
+}
+
+double trace_product(const MatrixD& a, const MatrixD& b) {
+  double acc = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) acc += a(r, c) * b(c, r);
+  return acc;
+}
+
+}  // namespace mako

@@ -1,0 +1,132 @@
+#include "parallel/simcomm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace mako {
+
+double ClusterModel::allreduce_seconds(int nranks, std::size_t bytes) const {
+  if (nranks <= 1 || bytes == 0) return 0.0;
+  // Ring allreduce: 2*(R-1) steps, each moving bytes/R. Hops that cross node
+  // boundaries run at internode speed; with one ring through all ranks a
+  // fraction (R/devices_per_node)/R of hops are internode.
+  const double steps = 2.0 * (nranks - 1);
+  const double chunk = static_cast<double>(bytes) / nranks;
+  const int nodes = (nranks + devices_per_node - 1) / devices_per_node;
+  const double internode_fraction =
+      (nodes <= 1) ? 0.0 : static_cast<double>(nodes) / nranks;
+  const double per_step_bw =
+      internode_fraction * (chunk / internode.bandwidth_bps) +
+      (1.0 - internode_fraction) * (chunk / intranode.bandwidth_bps);
+  const double per_step_lat = internode_fraction * internode.latency_s +
+                              (1.0 - internode_fraction) * intranode.latency_s;
+  return steps * (per_step_lat + per_step_bw);
+}
+
+double ClusterModel::broadcast_seconds(int nranks, std::size_t bytes) const {
+  if (nranks <= 1 || bytes == 0) return 0.0;
+  const double hops = std::ceil(std::log2(static_cast<double>(nranks)));
+  const int nodes = (nranks + devices_per_node - 1) / devices_per_node;
+  const LinkModel& link = (nodes > 1) ? internode : intranode;
+  return hops * (link.latency_s + static_cast<double>(bytes) / link.bandwidth_bps);
+}
+
+SimComm::SimComm(int size, ClusterModel cluster)
+    : size_(size), cluster_(cluster) {
+  if (size <= 0) throw std::invalid_argument("SimComm: size must be positive");
+}
+
+double SimComm::allreduce_sum(std::vector<MatrixD>& buffers) const {
+  assert(static_cast<int>(buffers.size()) == size_);
+  if (buffers.empty()) return 0.0;
+  MatrixD sum = buffers[0];
+  for (int r = 1; r < size_; ++r) sum += buffers[r];
+  for (int r = 0; r < size_; ++r) buffers[r] = sum;
+  const double t =
+      cluster_.allreduce_seconds(size_, sum.size() * sizeof(double));
+  comm_seconds_ += t;
+  return t;
+}
+
+double SimComm::broadcast(std::vector<MatrixD>& buffers, int root) const {
+  assert(root >= 0 && root < size_);
+  for (int r = 0; r < size_; ++r) {
+    if (r != root) buffers[r] = buffers[root];
+  }
+  const double t = cluster_.broadcast_seconds(
+      size_, buffers[root].size() * sizeof(double));
+  comm_seconds_ += t;
+  return t;
+}
+
+double Partition::max_load() const {
+  double m = 0.0;
+  for (double l : rank_loads) m = std::max(m, l);
+  return m;
+}
+
+double Partition::total_load() const {
+  return std::accumulate(rank_loads.begin(), rank_loads.end(), 0.0);
+}
+
+double Partition::balance() const {
+  if (rank_loads.empty()) return 1.0;
+  const double mx = max_load();
+  if (mx == 0.0) return 1.0;
+  return total_load() / (rank_loads.size() * mx);
+}
+
+Partition partition_round_robin(const std::vector<double>& task_costs,
+                                int nranks) {
+  Partition p;
+  p.rank_tasks.resize(nranks);
+  p.rank_loads.assign(nranks, 0.0);
+  for (std::size_t t = 0; t < task_costs.size(); ++t) {
+    const int r = static_cast<int>(t % nranks);
+    p.rank_tasks[r].push_back(t);
+    p.rank_loads[r] += task_costs[t];
+  }
+  return p;
+}
+
+Partition partition_lpt(const std::vector<double>& task_costs, int nranks) {
+  Partition p;
+  p.rank_tasks.resize(nranks);
+  p.rank_loads.assign(nranks, 0.0);
+
+  std::vector<std::size_t> order(task_costs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return task_costs[a] > task_costs[b];
+  });
+
+  using Slot = std::pair<double, int>;  // (load, rank)
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> heap;
+  for (int r = 0; r < nranks; ++r) heap.emplace(0.0, r);
+
+  for (std::size_t t : order) {
+    auto [load, r] = heap.top();
+    heap.pop();
+    p.rank_tasks[r].push_back(t);
+    load += task_costs[t];
+    p.rank_loads[r] = load;
+    heap.emplace(load, r);
+  }
+  return p;
+}
+
+double parallel_efficiency(const Partition& part, int nranks,
+                           std::size_t reduce_bytes,
+                           const ClusterModel& cluster) {
+  const double serial = part.total_load();
+  const double comm = cluster.allreduce_seconds(nranks, reduce_bytes);
+  const double parallel_time = part.max_load() + comm;
+  if (parallel_time <= 0.0) return 1.0;
+  return serial / (nranks * parallel_time);
+}
+
+}  // namespace mako

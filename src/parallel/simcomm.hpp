@@ -1,0 +1,100 @@
+// Simulated multi-device communication layer.
+//
+// The paper's multi-GPU runs place one MPI rank per A100 and connect nodes
+// with 200 Gb/s HDR InfiniBand.  This environment has no GPUs and one core,
+// so per the substitution rules we provide (1) a functional MPI-like
+// communicator whose collectives execute in-process with correct semantics,
+// and (2) an analytic cost model calibrated to the paper's interconnects that
+// converts message sizes into time.  The Fig-10 scalability experiment
+// combines measured per-task compute costs with this model.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace mako {
+
+/// Point-to-point link characteristics.
+struct LinkModel {
+  double latency_s = 2e-6;        ///< per-message latency
+  double bandwidth_bps = 25e9;    ///< bytes per second
+};
+
+/// A cluster of accelerator nodes (ND A100 v4-like by default: 8 devices per
+/// node over NVLink, nodes over HDR InfiniBand).
+struct ClusterModel {
+  int devices_per_node = 8;
+  LinkModel intranode{1e-6, 300e9};  ///< NVLink-class
+  LinkModel internode{2e-6, 25e9};   ///< HDR IB 200 Gb/s
+
+  /// Modeled time of a ring allreduce of `bytes` across `nranks` ranks,
+  /// accounting for the slower internode hops when ranks span nodes.
+  [[nodiscard]] double allreduce_seconds(int nranks, std::size_t bytes) const;
+
+  /// Modeled broadcast time (binomial tree).
+  [[nodiscard]] double broadcast_seconds(int nranks, std::size_t bytes) const;
+};
+
+/// In-process communicator over `size` simulated ranks.  Collectives have
+/// real (verified) semantics; each call also returns the modeled wall time
+/// the collective would take on the cluster.
+class SimComm {
+ public:
+  SimComm(int size, ClusterModel cluster = {});
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] const ClusterModel& cluster() const noexcept {
+    return cluster_;
+  }
+
+  /// Element-wise sum across per-rank matrices; every entry of `buffers`
+  /// holds the reduced result afterwards (MPI_Allreduce semantics).
+  /// Returns the modeled collective time in seconds.
+  double allreduce_sum(std::vector<MatrixD>& buffers) const;
+
+  /// Copies `buffers[root]` into every other rank slot (MPI_Bcast).
+  double broadcast(std::vector<MatrixD>& buffers, int root) const;
+
+  /// Accumulated modeled communication time of all collectives so far.
+  [[nodiscard]] double modeled_comm_seconds() const noexcept {
+    return comm_seconds_;
+  }
+  void reset_comm_time() noexcept { comm_seconds_ = 0.0; }
+
+ private:
+  int size_;
+  ClusterModel cluster_;
+  mutable double comm_seconds_ = 0.0;
+};
+
+/// Static work partitioning across ranks.
+struct Partition {
+  std::vector<std::vector<std::size_t>> rank_tasks;  ///< task ids per rank
+  std::vector<double> rank_loads;                    ///< summed cost per rank
+
+  [[nodiscard]] double max_load() const;
+  [[nodiscard]] double total_load() const;
+  /// load balance = mean / max; 1.0 is perfect.
+  [[nodiscard]] double balance() const;
+};
+
+/// Round-robin assignment (what one-rank-per-GPU codes typically do over
+/// shell-quartet batches).
+Partition partition_round_robin(const std::vector<double>& task_costs,
+                                int nranks);
+
+/// Greedy longest-processing-time assignment — the better scheduler Mako's
+/// batch planner enables because per-class batch costs are statically known.
+Partition partition_lpt(const std::vector<double>& task_costs, int nranks);
+
+/// Parallel efficiency of executing tasks with the given partition plus one
+/// allreduce of `reduce_bytes` per SCF iteration on `cluster`:
+///   eff = T_serial / (nranks * T_parallel).
+double parallel_efficiency(const Partition& part, int nranks,
+                           std::size_t reduce_bytes,
+                           const ClusterModel& cluster);
+
+}  // namespace mako

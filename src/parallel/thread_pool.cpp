@@ -1,0 +1,93 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+
+namespace mako {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  // A pool of one hardware thread gains nothing from a worker; run inline.
+  if (num_threads <= 1) return;
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  const std::size_t nchunks = std::min(count, workers_.size() * 4);
+  auto chunk_task = [&, nchunks]() {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1);
+      if (c >= nchunks) break;
+      const std::size_t lo = c * count / nchunks;
+      const std::size_t hi = (c + 1) * count / nchunks;
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }
+    if (done.fetch_add(1) + 1 == workers_.size()) {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      done_cv.notify_one();
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      tasks_.push(chunk_task);
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done.load() == workers_.size(); });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(count, fn);
+}
+
+}  // namespace mako

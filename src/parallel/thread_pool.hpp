@@ -1,0 +1,50 @@
+// Node-level task parallelism.  The paper assigns one MPI rank per GPU; on
+// the host we use a thread pool for intra-rank parallel loops (Fock digestion,
+// grid evaluation).  The pool degrades gracefully to serial execution on a
+// single hardware thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mako {
+
+/// Fixed-size worker pool with a blocking `run_batch` API.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, count) across the pool and blocks until done.
+  /// With zero workers (or count==1) the loop runs inline.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide default pool (sized to the hardware).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience free function over the global pool.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+}  // namespace mako

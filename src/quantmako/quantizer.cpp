@@ -1,0 +1,47 @@
+#include "quantmako/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mako {
+
+GroupScale compute_group_scale(const double* values, std::size_t n,
+                               double target) {
+  double mx = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mx = std::max(mx, std::fabs(values[i]));
+  if (mx <= 0.0) return {};
+  GroupScale gs;
+  gs.scale = target / mx;
+  gs.inv_scale = mx / target;
+  return gs;
+}
+
+void quantize_group(const double* in, double* out, std::size_t n,
+                    Precision precision, bool group_scaling) {
+  if (precision == Precision::kFP64) {
+    // Lossless: bypass the scale/descale round trip entirely.
+    std::copy(in, in + n, out);
+    return;
+  }
+  GroupScale gs;
+  if (group_scaling) gs = compute_group_scale(in, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = quantize_roundtrip(in[i] * gs.scale, precision) * gs.inv_scale;
+  }
+}
+
+double quantization_rmse(const std::vector<double>& values,
+                         Precision precision, bool group_scaling) {
+  if (values.empty()) return 0.0;
+  double acc = 0.0;
+  std::vector<double> q(values.size());
+  quantize_group(values.data(), q.data(), values.size(), precision,
+                 group_scaling);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double d = q[i] - values[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+}  // namespace mako

@@ -1,0 +1,37 @@
+// QuantMako: fine-grained, physics-informed quantization (Section 3.2).
+//
+// The in-kernel pieces (group-scaled FP16/TF32 GEMMs with FP32 accumulation,
+// FP64 Fock accumulation) live inside the GEMM layer and KernelMako; this
+// module provides the standalone quantizer used for analysis/tests and the
+// error metrics reported in Table 2 / Fig. 7c.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/precision.hpp"
+
+namespace mako {
+
+/// Result of quantizing a value group.
+struct GroupScale {
+  double scale = 1.0;      ///< multiply before rounding
+  double inv_scale = 1.0;  ///< multiply after compute (dequantization)
+};
+
+/// Computes the group scale that maps max|values| to `target` (default 1.0,
+/// well inside FP16's normal range).  Returns identity for all-zero groups.
+GroupScale compute_group_scale(const double* values, std::size_t n,
+                               double target = 1.0);
+
+/// Rounds every element through `precision` with optional group scaling and
+/// dequantizes back to double.  This is the storage-side error model used by
+/// the RMSE experiments.
+void quantize_group(const double* in, double* out, std::size_t n,
+                    Precision precision, bool group_scaling);
+
+/// RMSE of quantize_group against the input (convenience for benchmarks).
+double quantization_rmse(const std::vector<double>& values,
+                         Precision precision, bool group_scaling);
+
+}  // namespace mako

@@ -1,0 +1,39 @@
+#include "quantmako/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mako {
+
+IterationPolicy ConvergenceAwareScheduler::policy_for_error(double err) const {
+  IterationPolicy p;
+  p.quant_precision = config_.quant_precision;
+  p.prune_threshold = config_.prune_threshold;
+  if (config_.use_precision_ladder && err <= config_.ladder_switch_error) {
+    // Step up from FP16 to TF32 as convergence approaches.
+    p.quant_precision = Precision::kTF32;
+  }
+
+  if (err <= config_.exact_switch_error) {
+    // Final stretch: every surviving integral at FP64.
+    p.allow_quantized = false;
+    p.fp64_threshold = 0.0;
+    return p;
+  }
+
+  // Interpolate the FP64 threshold geometrically between the loose and tight
+  // settings as the SCF error drops from 1 to the exact-switch point.
+  const double lo = std::log10(std::max(err, config_.exact_switch_error));
+  const double hi = 0.0;  // log10(1)
+  const double span = std::log10(config_.exact_switch_error);
+  const double t = std::clamp((lo - hi) / span, 0.0, 1.0);  // 0 early, 1 late
+  const double log_thresh =
+      std::log10(config_.start_fp64_threshold) +
+      t * (std::log10(config_.end_fp64_threshold) -
+           std::log10(config_.start_fp64_threshold));
+  p.fp64_threshold = std::pow(10.0, log_thresh);
+  p.allow_quantized = true;
+  return p;
+}
+
+}  // namespace mako

@@ -1,0 +1,61 @@
+// Convergence-aware precision scheduling (Section 3.2.3).
+//
+// Two coordinated dimensions:
+//   * Integral level (mixed precision): density-weighted Schwarz bounds
+//     classify each quartet as FP64 / quantized / pruned.
+//   * Iteration level (dynamic precision): early SCF iterations run with
+//     relaxed thresholds (favouring quantized kernels); thresholds tighten
+//     as the density converges until the final iterations are FP64-exact.
+#pragma once
+
+#include <cstddef>
+
+#include "util/precision.hpp"
+
+namespace mako {
+
+/// Precision policy for one SCF iteration.
+struct IterationPolicy {
+  Precision quant_precision = Precision::kFP16;  ///< kernel for "moderate"
+  double fp64_threshold = 1e-4;   ///< weighted bound above which FP64 is used
+  double prune_threshold = 1e-11; ///< weighted bound below which we skip
+  bool allow_quantized = true;    ///< false in the final exact iterations
+};
+
+/// Configuration of the scheduler.
+struct SchedulerConfig {
+  Precision quant_precision = Precision::kFP16;
+  double start_fp64_threshold = 1e-3;  ///< loose: most work quantized
+  double end_fp64_threshold = 1e-7;    ///< tight: most work FP64
+  double prune_threshold = 1e-11;
+  /// SCF error below which quantization is switched off entirely so final
+  /// energies are FP64-exact (the paper's "gradually tightening" endpoint).
+  double exact_switch_error = 1e-6;
+  /// Dynamic-precision ladder: far from convergence quantized kernels run at
+  /// FP16; once the error drops below `ladder_switch_error` they step up to
+  /// TF32 before the final FP64 iterations (extends the paper's two-level
+  /// schedule with the intermediate tensor-core format).
+  bool use_precision_ladder = false;
+  double ladder_switch_error = 1e-3;
+};
+
+/// Stateful per-SCF scheduler: feed it the current convergence error, get
+/// the iteration policy.
+class ConvergenceAwareScheduler {
+ public:
+  explicit ConvergenceAwareScheduler(SchedulerConfig config = {})
+      : config_(config) {}
+
+  /// Policy for an iteration whose incoming DIIS/commutator error is `err`
+  /// (use a large value, e.g. 1.0, for the first iteration).
+  [[nodiscard]] IterationPolicy policy_for_error(double err) const;
+
+  [[nodiscard]] const SchedulerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  SchedulerConfig config_;
+};
+
+}  // namespace mako

@@ -1,0 +1,78 @@
+#include "scf/diis.hpp"
+
+#include <cmath>
+
+#include "linalg/eigen.hpp"
+#include "linalg/gemm.hpp"
+
+namespace mako {
+
+MatrixD diis_error_matrix(const MatrixD& f, const MatrixD& d, const MatrixD& s,
+                          const MatrixD& x) {
+  MatrixD fds = matmul(matmul(f, d), s);
+  MatrixD sdf = matmul(matmul(s, d), f);
+  fds -= sdf;
+  return matmul(matmul(x, Trans::kYes, fds, Trans::kNo), x);
+}
+
+MatrixD Diis::extrapolate(const MatrixD& fock, const MatrixD& error) {
+  last_error_ = 0.0;
+  for (std::size_t i = 0; i < error.size(); ++i) {
+    last_error_ = std::max(last_error_, std::fabs(error.data()[i]));
+  }
+
+  focks_.push_back(fock);
+  errors_.push_back(error);
+  while (focks_.size() > max_vectors_) {
+    focks_.pop_front();
+    errors_.pop_front();
+  }
+
+  const std::size_t n = focks_.size();
+  if (n < 2) return fock;
+
+  // B matrix of pairwise error overlaps, bordered by the -1 constraint row.
+  MatrixD b(n + 1, n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t jj = i; jj < n; ++jj) {
+      double dot = 0.0;
+      const double* pi = errors_[i].data();
+      const double* pj = errors_[jj].data();
+      for (std::size_t e = 0; e < errors_[i].size(); ++e) dot += pi[e] * pj[e];
+      b(i, jj) = dot;
+      b(jj, i) = dot;
+    }
+    b(i, n) = -1.0;
+    b(n, i) = -1.0;
+  }
+  VectorD rhs(n + 1, 0.0);
+  rhs[n] = -1.0;
+
+  VectorD coef;
+  try {
+    coef = solve_lu(b, rhs);
+  } catch (const std::exception&) {
+    // Singular B (linearly dependent errors): drop the oldest pair and
+    // return the raw Fock this cycle.
+    focks_.pop_front();
+    errors_.pop_front();
+    return fock;
+  }
+
+  MatrixD out(fock.rows(), fock.cols(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = coef[i];
+    const double* src = focks_[i].data();
+    double* dst = out.data();
+    for (std::size_t e = 0; e < out.size(); ++e) dst[e] += c * src[e];
+  }
+  return out;
+}
+
+void Diis::reset() {
+  focks_.clear();
+  errors_.clear();
+  last_error_ = 1.0;
+}
+
+}  // namespace mako

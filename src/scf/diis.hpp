@@ -1,0 +1,36 @@
+// DIIS (Pulay) convergence acceleration for the SCF procedure.
+#pragma once
+
+#include <deque>
+
+#include "linalg/matrix.hpp"
+
+namespace mako {
+
+/// Classic commutator-DIIS: extrapolates the Fock matrix from the history of
+/// (F, error) pairs with error = FDS - SDF expressed in an orthonormal basis.
+class Diis {
+ public:
+  explicit Diis(std::size_t max_vectors = 8) : max_vectors_(max_vectors) {}
+
+  /// Adds a (Fock, error) pair and returns the extrapolated Fock matrix.
+  /// Falls back to the raw Fock while fewer than 2 vectors are stored.
+  MatrixD extrapolate(const MatrixD& fock, const MatrixD& error);
+
+  /// Max-abs element of the most recent error matrix (convergence metric).
+  [[nodiscard]] double last_error() const noexcept { return last_error_; }
+
+  void reset();
+
+ private:
+  std::size_t max_vectors_;
+  std::deque<MatrixD> focks_;
+  std::deque<MatrixD> errors_;
+  double last_error_ = 1.0;
+};
+
+/// Builds the DIIS error matrix  X^T (F D S - S D F) X  (X orthogonalizer).
+MatrixD diis_error_matrix(const MatrixD& f, const MatrixD& d, const MatrixD& s,
+                          const MatrixD& x);
+
+}  // namespace mako

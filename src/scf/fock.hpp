@@ -1,0 +1,70 @@
+// Direct-SCF Fock builder.
+//
+// Enumerates symmetry-unique shell quartets with density-weighted Schwarz
+// screening, routes each quartet to an FP64 or quantized kernel according to
+// QuantMako's iteration policy, evaluates them through either the reference
+// per-quartet engine or KernelMako's batched engine, and digests the
+// integrals into the Coulomb (J) and exchange (K) matrices at FP64 — the
+// second stage of dual-stage accumulation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "basis/basis_set.hpp"
+#include "compilermako/autotuner.hpp"
+#include "integrals/schwarz.hpp"
+#include "kernelmako/batched_eri.hpp"
+#include "linalg/matrix.hpp"
+#include "quantmako/scheduler.hpp"
+
+namespace mako {
+
+/// Which ERI engine backs the Fock build.
+enum class EriEngineKind {
+  kReference,  ///< per-quartet irregular baseline (GPU4PySCF/QUICK role)
+  kMako,       ///< KernelMako batched matrix-aligned engine
+};
+
+/// Fock build configuration.
+struct FockOptions {
+  EriEngineKind engine = EriEngineKind::kMako;
+  KernelConfig kernel{};          ///< base config for the Mako engine
+  Autotuner* tuner = nullptr;     ///< optional per-class tuned configs
+  std::size_t batch_size = 32;    ///< quartets per Mako batch
+  int max_engine_l = 6;           ///< reference-engine angular momentum cap
+};
+
+/// Execution statistics of one Fock build.
+struct FockStats {
+  std::int64_t quartets_fp64 = 0;
+  std::int64_t quartets_quantized = 0;
+  std::int64_t quartets_pruned = 0;
+  double eri_seconds = 0.0;
+  double digest_seconds = 0.0;
+  double gemm_flops = 0.0;
+};
+
+/// Builds J and K for a given (symmetric) density matrix.
+class FockBuilder {
+ public:
+  FockBuilder(const BasisSet& basis, FockOptions options = {});
+
+  /// Computes the Coulomb and exchange matrices of `density` (AO basis,
+  /// closed-shell convention D = 2 * C_occ C_occ^T) under the given
+  /// precision policy.  J and K are resized to nbf x nbf.
+  FockStats build_jk(const MatrixD& density, const IterationPolicy& policy,
+                     MatrixD& j, MatrixD& k) const;
+
+  [[nodiscard]] const MatrixD& schwarz() const noexcept { return schwarz_; }
+  [[nodiscard]] const FockOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  const BasisSet& basis_;
+  FockOptions options_;
+  MatrixD schwarz_;  ///< shell-pair Schwarz bounds
+};
+
+}  // namespace mako

@@ -1,0 +1,190 @@
+#include "scf/gradient.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "integrals/derivatives.hpp"
+#include "integrals/schwarz.hpp"
+
+namespace mako {
+namespace {
+
+/// Energy-weighted density W_mn = 2 sum_occ eps_i C_mi C_ni.
+MatrixD energy_weighted_density(const ScfResult& scf, std::size_t nocc) {
+  const std::size_t n = scf.coefficients.rows();
+  MatrixD w(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t o = 0; o < nocc; ++o) {
+        acc += scf.orbital_energies[o] * scf.coefficients(i, o) *
+               scf.coefficients(j, o);
+      }
+      w(i, j) = 2.0 * acc;
+    }
+  }
+  return w;
+}
+
+double contract(const MatrixD& a, const MatrixD& b) {
+  double acc = 0.0;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) acc += pa[i] * pb[i];
+  return acc;
+}
+
+}  // namespace
+
+double GradientResult::max_component() const {
+  double m = 0.0;
+  for (const Vec3& g : gradient) {
+    for (double v : g) m = std::max(m, std::fabs(v));
+  }
+  return m;
+}
+
+double GradientResult::rms() const {
+  if (gradient.empty()) return 0.0;
+  double acc = 0.0;
+  for (const Vec3& g : gradient) {
+    for (double v : g) acc += v * v;
+  }
+  return std::sqrt(acc / (3.0 * gradient.size()));
+}
+
+GradientResult rhf_gradient(const Molecule& mol, const BasisSet& basis,
+                            const ScfResult& scf, double cx) {
+  if (std::fabs(scf.e_xc) > 1e-12) {
+    throw std::invalid_argument(
+        "rhf_gradient: DFT grid gradients are not implemented; run with "
+        "functional = hf");
+  }
+  const std::size_t natoms = mol.size();
+  GradientResult result;
+  result.gradient.assign(natoms, Vec3{0.0, 0.0, 0.0});
+
+  const std::size_t nocc = static_cast<std::size_t>(mol.num_electrons()) / 2;
+  const MatrixD& d = scf.density;
+  const MatrixD w = energy_weighted_density(scf, nocc);
+
+  // --- One-electron + Pulay terms ------------------------------------------
+  for (std::size_t atom = 0; atom < natoms; ++atom) {
+    const auto ds = overlap_derivative(basis, atom);
+    const auto dt = kinetic_derivative(basis, atom);
+    const auto dv = nuclear_derivative(basis, mol, atom);
+    for (int axis = 0; axis < 3; ++axis) {
+      result.gradient[atom][axis] += contract(d, dt[axis]);
+      result.gradient[atom][axis] += contract(d, dv[axis]);
+      result.gradient[atom][axis] -= contract(w, ds[axis]);
+    }
+  }
+
+  // --- Nuclear-nuclear repulsion --------------------------------------------
+  for (std::size_t a = 0; a < natoms; ++a) {
+    for (std::size_t b = 0; b < natoms; ++b) {
+      if (a == b) continue;
+      const Vec3& ra = mol.atoms()[a].position;
+      const Vec3& rb = mol.atoms()[b].position;
+      const double r = distance(ra, rb);
+      const double zz = static_cast<double>(mol.atoms()[a].z) *
+                        mol.atoms()[b].z;
+      for (int axis = 0; axis < 3; ++axis) {
+        result.gradient[a][axis] -= zz * (ra[axis] - rb[axis]) / (r * r * r);
+      }
+    }
+  }
+
+  // --- Two-electron term -----------------------------------------------------
+  // Full enumeration of shell quartets with Schwarz screening; the fourth
+  // center's derivative follows from translational invariance.
+  const auto& shells = basis.shells();
+  const MatrixD q = schwarz_bounds(basis);
+  double dmax = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    dmax = std::max(dmax, std::fabs(d.data()[i]));
+  }
+
+  std::array<std::array<std::vector<double>, 3>, 3> deriv;
+  for (std::size_t sa = 0; sa < shells.size(); ++sa) {
+    for (std::size_t sb = 0; sb < shells.size(); ++sb) {
+      const double qab = q(sa, sb);
+      for (std::size_t sc = 0; sc < shells.size(); ++sc) {
+        for (std::size_t sd = 0; sd < shells.size(); ++sd) {
+          if (qab * q(sc, sd) * dmax * dmax < 1e-14) continue;
+          const Shell& a = shells[sa];
+          const Shell& b = shells[sb];
+          const Shell& c = shells[sc];
+          const Shell& dd = shells[sd];
+          // All centers identical: the quartet is translationally
+          // invariant, zero gradient.
+          if (a.atom == b.atom && a.atom == c.atom && a.atom == dd.atom) {
+            continue;
+          }
+          eri_quartet_derivative(a, b, c, dd, deriv);
+
+          const std::size_t atoms[4] = {a.atom, b.atom, c.atom, dd.atom};
+          std::size_t idx = 0;
+          for (int m = 0; m < a.num_sph(); ++m) {
+            const std::size_t im = a.sph_offset + m;
+            for (int n = 0; n < b.num_sph(); ++n) {
+              const std::size_t in = b.sph_offset + n;
+              for (int s = 0; s < c.num_sph(); ++s) {
+                const std::size_t is = c.sph_offset + s;
+                for (int l = 0; l < dd.num_sph(); ++l, ++idx) {
+                  const std::size_t il = dd.sph_offset + l;
+                  // RHF two-particle density element.
+                  const double gamma = 0.5 * d(im, in) * d(is, il) -
+                                       0.25 * cx * d(im, is) * d(in, il);
+                  if (gamma == 0.0) continue;
+                  for (int axis = 0; axis < 3; ++axis) {
+                    const double g0 = deriv[0][axis][idx];
+                    const double g1 = deriv[1][axis][idx];
+                    const double g2 = deriv[2][axis][idx];
+                    result.gradient[atoms[0]][axis] += gamma * g0;
+                    result.gradient[atoms[1]][axis] += gamma * g1;
+                    result.gradient[atoms[2]][axis] += gamma * g2;
+                    // Center D via translational invariance.
+                    result.gradient[atoms[3]][axis] -=
+                        gamma * (g0 + g1 + g2);
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+GradientResult numerical_gradient(const Molecule& mol,
+                                  const std::string& basis_name,
+                                  const ScfOptions& options, double h) {
+  GradientResult result;
+  result.gradient.assign(mol.size(), Vec3{0.0, 0.0, 0.0});
+  ScfOptions tight = options;
+  tight.energy_convergence = 1e-11;
+  tight.diis_convergence = 1e-9;
+  tight.max_iterations = 200;
+
+  for (std::size_t atom = 0; atom < mol.size(); ++atom) {
+    for (int axis = 0; axis < 3; ++axis) {
+      auto displaced = [&](double delta) {
+        Molecule m = mol;
+        std::vector<Atom> atoms = m.atoms();
+        atoms[atom].position[axis] += delta;
+        Molecule out(atoms, m.charge());
+        const BasisSet basis(out, basis_name);
+        return run_scf(out, basis, tight).energy;
+      };
+      const double ep = displaced(h);
+      const double em = displaced(-h);
+      result.gradient[atom][axis] = (ep - em) / (2.0 * h);
+    }
+  }
+  return result;
+}
+
+}  // namespace mako

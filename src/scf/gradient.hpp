@@ -1,0 +1,49 @@
+// Analytic RHF nuclear gradients (forces).
+//
+// The paper's artifact computes "ground-state energies and forces"; this
+// module supplies the force evaluation for the Hartree-Fock path:
+//
+//   dE/dX = sum_mn D_mn d(T+V)_mn/dX                (core-Hamiltonian term)
+//         + sum_mnsl Gamma_mnsl d(mn|sl)/dX         (two-electron term)
+//         - sum_mn W_mn dS_mn/dX                    (Pulay overlap term)
+//         + dV_nn/dX                                (nuclear repulsion)
+//
+// with the RHF two-particle density Gamma_mnsl = 1/2 D_mn D_sl
+// - cx/4 D_ms D_nl and the energy-weighted density W = 2 sum_i eps_i c_i
+// c_i^T.  Validated against central finite differences of the SCF energy.
+//
+// DFT (grid) gradients are not implemented; calling this on a result with a
+// nonzero XC energy throws.
+#pragma once
+
+#include <vector>
+
+#include "basis/basis_set.hpp"
+#include "chem/molecule.hpp"
+#include "scf/scf.hpp"
+
+namespace mako {
+
+struct GradientResult {
+  /// dE/dX per atom (Hartree/Bohr); forces are the negatives.
+  std::vector<Vec3> gradient;
+
+  /// Max-abs gradient component (geometry-optimization convergence metric).
+  [[nodiscard]] double max_component() const;
+  /// Root-mean-square over all 3N components.
+  [[nodiscard]] double rms() const;
+};
+
+/// Computes the analytic nuclear gradient for a converged RHF result.
+/// `cx` is the exact-exchange fraction (1.0 for Hartree-Fock).
+/// Throws std::invalid_argument when `scf` carries an XC contribution.
+GradientResult rhf_gradient(const Molecule& mol, const BasisSet& basis,
+                            const ScfResult& scf, double cx = 1.0);
+
+/// Finite-difference gradient of the SCF energy (central differences with
+/// step `h` in Bohr) — the validation oracle, exposed for tests/examples.
+GradientResult numerical_gradient(const Molecule& mol,
+                                  const std::string& basis_name,
+                                  const ScfOptions& options, double h = 1e-4);
+
+}  // namespace mako

@@ -1,0 +1,221 @@
+#include "scf/scf.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "integrals/one_electron.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/gemm.hpp"
+#include "scf/diis.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace mako {
+namespace {
+
+/// Closed-shell density D = 2 C_occ C_occ^T from MO coefficients.
+MatrixD build_density(const MatrixD& c, std::size_t nocc) {
+  const std::size_t n = c.rows();
+  MatrixD d(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t o = 0; o < nocc; ++o) acc += c(i, o) * c(j, o);
+      d(i, j) = 2.0 * acc;
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+double ScfResult::avg_iteration_seconds() const {
+  if (iteration_log.size() <= 1) {
+    return iteration_log.empty() ? 0.0 : iteration_log.front().seconds;
+  }
+  double total = 0.0;
+  for (std::size_t i = 1; i < iteration_log.size(); ++i) {
+    total += iteration_log[i].seconds;
+  }
+  return total / static_cast<double>(iteration_log.size() - 1);
+}
+
+ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
+                  const ScfOptions& options) {
+  const int nelec = mol.num_electrons();
+  if (nelec <= 0 || nelec % 2 != 0) {
+    throw std::invalid_argument(
+        "run_scf: closed-shell RHF/RKS requires an even electron count");
+  }
+  const std::size_t nocc = static_cast<std::size_t>(nelec) / 2;
+  const std::size_t nbf = basis.nbf();
+  if (nocc > nbf) {
+    throw std::invalid_argument("run_scf: basis too small for electron count");
+  }
+
+  ScfResult result;
+  result.e_nuclear = mol.nuclear_repulsion();
+
+  // One-electron pieces and the orthogonalizer.
+  const MatrixD s = overlap_matrix(basis);
+  const MatrixD x = inverse_sqrt(s, options.lindep_threshold);
+  const MatrixD hcore = core_hamiltonian(basis, mol);
+
+  // XC machinery.
+  const XcFunctional& xc = options.xc;
+  const double cx = xc.exact_exchange();
+  std::unique_ptr<MolecularGrid> grid;
+  if (!xc.is_hf_only()) {
+    grid = std::make_unique<MolecularGrid>(mol, options.grid);
+  }
+
+  // Fock builder over the chosen ERI engine.
+  FockBuilder fock_builder(basis, options.fock);
+  ConvergenceAwareScheduler scheduler(options.scheduler);
+  Diis diis;
+
+  // Core-Hamiltonian initial guess.
+  {
+    MatrixD f0 = matmul(matmul(x, Trans::kYes, hcore, Trans::kNo), x);
+    EigenResult es = eigh(f0);
+    result.coefficients = matmul(x, es.eigenvectors);
+    result.orbital_energies = es.eigenvalues;
+  }
+  result.density = build_density(result.coefficients, nocc);
+
+  const int niter = (options.fixed_iterations > 0) ? options.fixed_iterations
+                                                   : options.max_iterations;
+  double last_energy = 0.0;
+  double last_error = 1.0;
+  // Once the SCF meets its thresholds under quantized kernels, one final
+  // pure-FP64 iteration polishes the result (the endpoint of the paper's
+  // convergence-aware schedule: FP64-level accuracy at convergence).
+  bool force_exact = false;
+  // Incremental-Fock state.
+  MatrixD d_prev, j_prev, k_prev;
+
+  for (int iter = 0; iter < niter; ++iter) {
+    Timer iter_timer;
+    ScfIterationRecord record;
+
+    // Precision policy for this iteration (QuantMako scheduling).
+    IterationPolicy policy;
+    if (options.enable_quantization && !force_exact) {
+      policy = scheduler.policy_for_error(iter == 0 ? 1.0 : last_error);
+    } else {
+      policy.allow_quantized = false;
+      policy.fp64_threshold = 0.0;
+      policy.prune_threshold = options.prune_threshold;
+    }
+
+    MatrixD j, k;
+    FockStats fs;
+    const bool do_incremental =
+        options.incremental_fock && iter > 0 && !force_exact &&
+        (iter % std::max(options.incremental_rebuild_period, 1) != 0);
+    if (do_incremental) {
+      // Two-electron response of the density change only.
+      MatrixD delta = result.density;
+      delta -= d_prev;
+      MatrixD dj, dk;
+      fs = fock_builder.build_jk(delta, policy, dj, dk);
+      j = j_prev;
+      j += dj;
+      k = k_prev;
+      k += dk;
+    } else {
+      fs = fock_builder.build_jk(result.density, policy, j, k);
+    }
+    d_prev = result.density;
+    j_prev = j;
+    k_prev = k;
+    record.quartets_fp64 = fs.quartets_fp64;
+    record.quartets_quantized = fs.quartets_quantized;
+    record.quartets_pruned = fs.quartets_pruned;
+
+    XcResult xres;
+    if (grid) {
+      xres = integrate_xc(basis, *grid, xc, result.density);
+    }
+
+    // F = H + J - (cx/2) K + Vxc.
+    MatrixD fock = hcore;
+    fock += j;
+    if (cx != 0.0) {
+      MatrixD kscaled = k;
+      kscaled *= -0.5 * cx;
+      fock += kscaled;
+    }
+    if (grid) fock += xres.vxc;
+
+    // Energy decomposition.
+    result.e_one_electron = trace_product(result.density, hcore);
+    result.e_coulomb = 0.5 * trace_product(result.density, j);
+    result.e_exact_exchange = -0.25 * cx * trace_product(result.density, k);
+    result.e_xc = xres.energy;
+    const double e_elec = result.e_one_electron + result.e_coulomb +
+                          result.e_exact_exchange + result.e_xc;
+    const double energy = e_elec + result.e_nuclear;
+
+    // DIIS extrapolation.
+    MatrixD f_use = fock;
+    if (options.use_diis) {
+      const MatrixD err = diis_error_matrix(fock, result.density, s, x);
+      f_use = diis.extrapolate(fock, err);
+      last_error = diis.last_error();
+    } else {
+      last_error = std::fabs(energy - last_energy);
+    }
+
+    // Diagonalize in the orthonormal basis.
+    MatrixD f_ortho = matmul(matmul(x, Trans::kYes, f_use, Trans::kNo), x);
+    EigenResult es;
+    if (options.diagonalizer == Diagonalizer::kSubspace) {
+      // MatMul-aligned iterative path: only the occupied block (plus a
+      // small buffer) is solved for.
+      const std::size_t nev =
+          std::min(f_ortho.rows(), nocc + std::min<std::size_t>(nocc, 6) + 2);
+      es = eigh_subspace(f_ortho, nev, 300, 1e-11);
+    } else {
+      es = eigh(f_ortho);
+    }
+    result.coefficients = matmul(x, es.eigenvectors);
+    result.orbital_energies = es.eigenvalues;
+    result.density = build_density(result.coefficients, nocc);
+    result.fock = std::move(fock);
+
+    record.energy = energy;
+    record.error = last_error;
+    record.seconds = iter_timer.seconds();
+    result.iteration_log.push_back(record);
+    result.iterations = iter + 1;
+    result.energy = energy;
+
+    log_debug("scf iter %2d  E=%.10f  err=%.3e  (%lld fp64 / %lld quant / "
+              "%lld pruned)",
+              iter, energy, last_error,
+              static_cast<long long>(record.quartets_fp64),
+              static_cast<long long>(record.quartets_quantized),
+              static_cast<long long>(record.quartets_pruned));
+
+    if (options.fixed_iterations <= 0 && iter > 0 &&
+        std::fabs(energy - last_energy) < options.energy_convergence &&
+        last_error < options.diis_convergence) {
+      if (record.quartets_quantized > 0 && !force_exact) {
+        // Converged on quantized kernels: re-run the final iteration exact.
+        force_exact = true;
+        last_energy = energy;
+        continue;
+      }
+      result.converged = true;
+      last_energy = energy;
+      break;
+    }
+    last_energy = energy;
+  }
+
+  return result;
+}
+
+}  // namespace mako

@@ -1,0 +1,85 @@
+// Restricted closed-shell SCF driver (Hartree-Fock and hybrid/pure DFT).
+//
+// This is the full DFT workflow of Section 2.1: ERI evaluation (via either
+// engine), exchange-correlation quadrature, and Fock diagonalization, with
+// DIIS acceleration and QuantMako's convergence-aware precision scheduling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chem/molecule.hpp"
+#include "quantmako/scheduler.hpp"
+#include "scf/fock.hpp"
+#include "scf/grid.hpp"
+#include "scf/xc.hpp"
+
+namespace mako {
+
+/// Fock-matrix diagonalization strategy.
+enum class Diagonalizer {
+  kDirect,    ///< full tridiagonalization + QL (robust default)
+  kSubspace,  ///< MatMul-aligned blocked subspace iteration over the
+              ///< occupied block (the paper's iterative-eigensolver path)
+};
+
+struct ScfOptions {
+  XcFunctional xc{XcKind::kNone};       ///< kNone = Hartree-Fock
+  FockOptions fock{};                   ///< ERI engine configuration
+  GridSpec grid = GridSpec::coarse();   ///< XC quadrature quality
+  Diagonalizer diagonalizer = Diagonalizer::kDirect;
+  /// Incremental Fock builds: after the first iteration, evaluate only the
+  /// two-electron response of the density *change*.  The shrinking delta
+  /// density makes the density-weighted Schwarz screen progressively more
+  /// effective.  Full rebuilds happen periodically and on the final exact
+  /// iteration to bound error accumulation.
+  bool incremental_fock = false;
+  int incremental_rebuild_period = 8;
+  int max_iterations = 60;
+  double energy_convergence = 1e-8;     ///< |dE| between iterations
+  double diis_convergence = 1e-6;       ///< max |FDS - SDF|
+  bool use_diis = true;
+  bool enable_quantization = false;     ///< QuantMako scheduling on/off
+  SchedulerConfig scheduler{};
+  /// >0: run exactly this many iterations with no convergence test
+  /// (benchmark mode, matching the paper's fixed-iteration timing).
+  int fixed_iterations = 0;
+  double lindep_threshold = 1e-8;
+  double prune_threshold = 1e-11;       ///< Schwarz prune in pure-FP64 mode
+};
+
+struct ScfIterationRecord {
+  double energy = 0.0;
+  double error = 0.0;      ///< DIIS commutator max-abs
+  double seconds = 0.0;
+  std::int64_t quartets_fp64 = 0;
+  std::int64_t quartets_quantized = 0;
+  std::int64_t quartets_pruned = 0;
+};
+
+struct ScfResult {
+  bool converged = false;
+  int iterations = 0;
+  double energy = 0.0;          ///< total energy (electronic + nuclear)
+  double e_nuclear = 0.0;
+  double e_one_electron = 0.0;
+  double e_coulomb = 0.0;
+  double e_exact_exchange = 0.0;
+  double e_xc = 0.0;
+  VectorD orbital_energies;
+  MatrixD density;
+  MatrixD coefficients;
+  MatrixD fock;
+  std::vector<ScfIterationRecord> iteration_log;
+
+  /// Mean per-iteration wall time excluding the first iteration — the
+  /// paper's Fig-8 metric.
+  [[nodiscard]] double avg_iteration_seconds() const;
+};
+
+/// Runs the SCF to convergence (or for `fixed_iterations`).
+/// Throws std::invalid_argument for open-shell electron counts.
+ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
+                  const ScfOptions& options = {});
+
+}  // namespace mako

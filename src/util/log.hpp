@@ -1,0 +1,56 @@
+// Minimal leveled logger.  Mako components report planning/tuning decisions
+// through this interface so end-to-end runs can be audited.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace mako {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are suppressed.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+void log_message(LogLevel level, const std::string& msg);
+}
+
+template <typename... Args>
+void log_debug(const char* fmt, Args... args) {
+  if (log_level() > LogLevel::kDebug) return;
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  detail::log_message(LogLevel::kDebug, buf);
+}
+
+template <typename... Args>
+void log_info(const char* fmt, Args... args) {
+  if (log_level() > LogLevel::kInfo) return;
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  detail::log_message(LogLevel::kInfo, buf);
+}
+
+template <typename... Args>
+void log_warn(const char* fmt, Args... args) {
+  if (log_level() > LogLevel::kWarn) return;
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  detail::log_message(LogLevel::kWarn, buf);
+}
+
+template <typename... Args>
+void log_error(const char* fmt, Args... args) {
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  detail::log_message(LogLevel::kError, buf);
+}
+
+inline void log_debug(const char* msg) { log_debug("%s", msg); }
+inline void log_info(const char* msg) { log_info("%s", msg); }
+inline void log_warn(const char* msg) { log_warn("%s", msg); }
+inline void log_error(const char* msg) { log_error("%s", msg); }
+
+}  // namespace mako

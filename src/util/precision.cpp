@@ -1,0 +1,95 @@
+#include "util/precision.hpp"
+
+namespace mako {
+
+const char* to_string(Precision p) noexcept {
+  switch (p) {
+    case Precision::kFP64:
+      return "FP64";
+    case Precision::kFP32:
+      return "FP32";
+    case Precision::kTF32:
+      return "TF32";
+    case Precision::kFP16:
+      return "FP16";
+  }
+  return "?";
+}
+
+std::uint16_t half_t::from_float(float value) noexcept {
+  std::uint32_t f;
+  std::memcpy(&f, &value, sizeof(f));
+
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::int32_t exponent =
+      static_cast<std::int32_t>((f >> 23) & 0xFFu) - 127 + 15;
+  std::uint32_t mantissa = f & 0x007FFFFFu;
+
+  if (((f >> 23) & 0xFFu) == 0xFFu) {
+    // Inf / NaN: preserve NaN payload top bit so NaNs stay NaNs.
+    const std::uint16_t nan_payload = mantissa ? 0x0200u : 0u;
+    return static_cast<std::uint16_t>(sign | 0x7C00u | nan_payload |
+                                      (mantissa >> 13));
+  }
+  if (exponent >= 0x1F) {
+    // Overflow -> signed infinity, as hardware FP16 conversion does.
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (exponent <= 0) {
+    // Subnormal or underflow to zero.
+    if (exponent < -10) {
+      return static_cast<std::uint16_t>(sign);
+    }
+    mantissa |= 0x00800000u;  // implicit leading 1
+    const int shift = 14 - exponent;
+    std::uint32_t sub = mantissa >> shift;
+    // Round to nearest even.
+    const std::uint32_t rem = mantissa & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (sub & 1u))) {
+      ++sub;
+    }
+    return static_cast<std::uint16_t>(sign | sub);
+  }
+
+  // Normal number: round mantissa from 23 to 10 bits, nearest even.
+  std::uint32_t out =
+      sign | (static_cast<std::uint32_t>(exponent) << 10) | (mantissa >> 13);
+  const std::uint32_t rem = mantissa & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) {
+    ++out;  // may carry into the exponent, which is the correct behaviour
+  }
+  return static_cast<std::uint16_t>(out);
+}
+
+float half_t::to_float_impl(std::uint16_t bits) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exponent = (bits >> 10) & 0x1Fu;
+  std::uint32_t mantissa = bits & 0x03FFu;
+
+  std::uint32_t f;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      f = sign;  // signed zero
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      std::uint32_t m = mantissa;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x0400u) == 0);
+      f = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+          ((m & 0x03FFu) << 13);
+    }
+  } else if (exponent == 0x1F) {
+    f = sign | 0x7F800000u | (mantissa << 13);
+  } else {
+    f = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  float out;
+  std::memcpy(&out, &f, sizeof(out));
+  return out;
+}
+
+}  // namespace mako

@@ -1,0 +1,12 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace mako {
+
+double Rng::log_uniform(double lo, double hi) {
+  const double u = uniform(std::log(lo), std::log(hi));
+  return std::exp(u);
+}
+
+}  // namespace mako

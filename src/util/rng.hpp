@@ -1,0 +1,41 @@
+// Deterministic pseudo-random generation.  Tests, benchmark workload
+// generators and the synthetic dataset builders all seed explicitly so every
+// run is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace mako {
+
+/// Thin wrapper over a 64-bit Mersenne Twister with convenience samplers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x6d616b6f /* "mako" */) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal deviate scaled by `sigma` around `mu`.
+  double normal(double mu = 0.0, double sigma = 1.0) {
+    return std::normal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Log-uniform positive value in [lo, hi); useful for Gaussian exponents
+  /// and ERI magnitudes, which span many orders of magnitude.
+  double log_uniform(double lo, double hi);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mako

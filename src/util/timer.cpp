@@ -1,0 +1,21 @@
+#include "util/timer.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace mako {
+
+std::string StageTimings::report() const {
+  std::string out;
+  out += "stage                          total(s)      calls\n";
+  for (const auto& [stage, entry] : entries_) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-28s %10.4f %10lld\n", stage.c_str(),
+                  entry.total_seconds,
+                  static_cast<long long>(entry.calls));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace mako

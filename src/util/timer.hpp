@@ -1,0 +1,81 @@
+// Wall-clock timing utilities used by the SCF driver, the CompilerMako
+// autotuner and every benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mako {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates named timing sections across a run (e.g. "eri", "fock",
+/// "diagonalization") so the engine can print the per-stage breakdown that
+/// the paper's artifact reports.
+class StageTimings {
+ public:
+  void add(const std::string& stage, double seconds) {
+    auto& e = entries_[stage];
+    e.total_seconds += seconds;
+    ++e.calls;
+  }
+
+  [[nodiscard]] double total(const std::string& stage) const {
+    auto it = entries_.find(stage);
+    return it == entries_.end() ? 0.0 : it->second.total_seconds;
+  }
+
+  [[nodiscard]] std::int64_t calls(const std::string& stage) const {
+    auto it = entries_.find(stage);
+    return it == entries_.end() ? 0 : it->second.calls;
+  }
+
+  /// Render a human-readable table of all stages.
+  [[nodiscard]] std::string report() const;
+
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    double total_seconds = 0.0;
+    std::int64_t calls = 0;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// RAII helper: times a scope and records it in a StageTimings on exit.
+class ScopedStageTimer {
+ public:
+  ScopedStageTimer(StageTimings& timings, std::string stage)
+      : timings_(timings), stage_(std::move(stage)) {}
+  ~ScopedStageTimer() { timings_.add(stage_, timer_.seconds()); }
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  StageTimings& timings_;
+  std::string stage_;
+  Timer timer_;
+};
+
+}  // namespace mako

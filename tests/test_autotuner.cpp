@@ -1,0 +1,114 @@
+// Architecture-tuned compilation (Algorithm 2) tests.
+#include <gtest/gtest.h>
+
+#include "compilermako/autotuner.hpp"
+#include "integrals/eri_reference.hpp"
+
+namespace mako {
+namespace {
+
+TunerOptions tiny_options() {
+  TunerOptions opt;
+  opt.tile_m = {16, 48};
+  opt.tile_n = {32};
+  opt.tile_k = {16};
+  opt.ilp_factors = {1, 8};
+  opt.calibration_batch = 2;
+  return opt;
+}
+
+TEST(AutotunerTest, TuneProducesValidConfig) {
+  Autotuner tuner(DeviceSpec::a100(), tiny_options());
+  const EriClassKey key{1, 1, 1, 1, 2, 2};
+  const TunedKernel& tuned = tuner.tune(key, Precision::kFP64);
+  EXPECT_EQ(tuned.candidates_profiled, 2 * 1 * 1 * 2);
+  EXPECT_GT(tuned.measured_seconds, 0.0);
+  EXPECT_EQ(tuned.config.gemm.precision, Precision::kFP64);
+  EXPECT_TRUE(tuned.plan.feasible);
+}
+
+TEST(AutotunerTest, CacheHitsSkipProfiling) {
+  Autotuner tuner(DeviceSpec::a100(), tiny_options());
+  const EriClassKey key{1, 0, 1, 0, 1, 1};
+  const TunedKernel& first = tuner.tune(key, Precision::kFP64);
+  const TunedKernel& second = tuner.tune(key, Precision::kFP64);
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(tuner.cache_size(), 1u);
+}
+
+TEST(AutotunerTest, PrecisionsTunedSeparately) {
+  Autotuner tuner(DeviceSpec::a100(), tiny_options());
+  const EriClassKey key{1, 1, 0, 0, 1, 1};
+  tuner.tune(key, Precision::kFP64);
+  tuner.tune(key, Precision::kFP16);
+  EXPECT_EQ(tuner.cache_size(), 2u);
+  EXPECT_EQ(tuner.lookup(key, Precision::kFP16)->config.gemm.precision,
+            Precision::kFP16);
+}
+
+TEST(AutotunerTest, LookupMissReturnsNullopt) {
+  Autotuner tuner;
+  EXPECT_FALSE(tuner.lookup(EriClassKey{3, 3, 3, 3, 1, 1}, Precision::kFP64)
+                   .has_value());
+}
+
+TEST(AutotunerTest, TunedConfigProducesCorrectIntegrals) {
+  Autotuner tuner(DeviceSpec::a100(), tiny_options());
+  const EriClassKey key{2, 1, 1, 0, 2, 1};
+  const TunedKernel& tuned = tuner.tune(key, Precision::kFP64);
+
+  const CalibrationBatch batch = make_calibration_batch(key, 3, 123);
+  BatchedEriEngine engine(tuned.config);
+  std::vector<std::vector<double>> out;
+  engine.compute_batch(key, std::span<const QuartetRef>(batch.quartets), out);
+
+  ReferenceEriEngine ref;
+  std::vector<double> expected;
+  for (std::size_t q = 0; q < batch.quartets.size(); ++q) {
+    const QuartetRef& r = batch.quartets[q];
+    ref.compute(*r.a, *r.b, *r.c, *r.d, expected);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(out[q][i], expected[i], 1e-11);
+    }
+  }
+}
+
+TEST(AutotunerTest, SerializeLoadRoundTrip) {
+  Autotuner tuner(DeviceSpec::a100(), tiny_options());
+  const EriClassKey key{2, 2, 1, 1, 1, 1};
+  const TunedKernel& tuned = tuner.tune(key, Precision::kFP16);
+
+  Autotuner fresh(DeviceSpec::a100(), tiny_options());
+  fresh.load_cache(tuner.serialize_cache());
+  const auto restored = fresh.lookup(key, Precision::kFP16);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->config.gemm.tile_m, tuned.config.gemm.tile_m);
+  EXPECT_EQ(restored->config.gemm.ilp, tuned.config.gemm.ilp);
+  EXPECT_EQ(restored->config.fuse_gemms, tuned.config.fuse_gemms);
+}
+
+TEST(AutotunerTest, LoadIgnoresGarbageLines) {
+  Autotuner tuner;
+  tuner.load_cache("not a valid line\n\n1 2 3\n");
+  EXPECT_EQ(tuner.cache_size(), 0u);
+}
+
+TEST(CalibrationBatchTest, RespectsClassKey) {
+  const EriClassKey key{2, 1, 1, 0, 6, 3};
+  const CalibrationBatch batch = make_calibration_batch(key, 5, 9);
+  EXPECT_EQ(batch.quartets.size(), 5u);
+  for (const QuartetRef& q : batch.quartets) {
+    EXPECT_EQ(BatchedEriEngine::classify(q), key);
+  }
+}
+
+TEST(CalibrationBatchTest, Deterministic) {
+  const EriClassKey key{1, 1, 1, 1, 2, 2};
+  const CalibrationBatch a = make_calibration_batch(key, 2, 42);
+  const CalibrationBatch b = make_calibration_batch(key, 2, 42);
+  EXPECT_EQ(a.shells[0].exponents, b.shells[0].exponents);
+  EXPECT_EQ(a.shells[3].coefficients, b.shells[3].coefficients);
+}
+
+}  // namespace
+}  // namespace mako

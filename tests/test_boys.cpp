@@ -1,0 +1,130 @@
+// Boys function tests: series ground truth, recursion identities, and the
+// table/Taylor + asymptotic evaluation paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "integrals/boys.hpp"
+#include "util/rng.hpp"
+
+namespace mako {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Slow but simple numerical quadrature reference for F_m(x).
+double boys_quadrature(int m, double x) {
+  const int n = 20000;
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double t = (i + 0.5) / n;
+    acc += std::pow(t, 2 * m) * std::exp(-x * t * t);
+  }
+  return acc / n;
+}
+
+TEST(BoysTest, ZeroArgument) {
+  double f[kBoysMaxM + 1];
+  boys(kBoysMaxM, 0.0, f);
+  for (int m = 0; m <= kBoysMaxM; ++m) {
+    EXPECT_NEAR(f[m], 1.0 / (2.0 * m + 1.0), 1e-14) << m;
+  }
+}
+
+TEST(BoysTest, F0ClosedForm) {
+  // F_0(x) = sqrt(pi/(4x)) erf(sqrt(x)).
+  double f[1];
+  for (double x : {0.1, 0.5, 1.0, 3.0, 10.0, 25.0, 40.0, 100.0}) {
+    boys(0, x, f);
+    const double exact = 0.5 * std::sqrt(kPi / x) * std::erf(std::sqrt(x));
+    EXPECT_NEAR(f[0], exact, 1e-12) << "x=" << x;
+  }
+}
+
+class BoysQuadratureTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BoysQuadratureTest, MatchesQuadrature) {
+  const double x = GetParam();
+  double f[17];
+  boys(16, x, f);
+  for (int m = 0; m <= 16; m += 4) {
+    EXPECT_NEAR(f[m], boys_quadrature(m, x),
+                5e-9 * std::max(1.0, boys_quadrature(m, x)))
+        << "m=" << m << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ArgRange, BoysQuadratureTest,
+                         ::testing::Values(0.0, 0.05, 0.3, 1.0, 2.7, 6.5, 13.0,
+                                           22.2, 31.9, 33.0, 60.0, 200.0));
+
+TEST(BoysTest, DownwardRecursionIdentity) {
+  // (2m+1) F_m(x) = 2x F_{m+1}(x) + exp(-x) must hold everywhere.
+  Rng rng(123);
+  double f[kBoysMaxM + 1];
+  for (int trial = 0; trial < 200; ++trial) {
+    const double x = rng.log_uniform(1e-3, 500.0);
+    boys(kBoysMaxM, x, f);
+    const double ex = std::exp(-x);
+    for (int m = 0; m + 1 <= kBoysMaxM; ++m) {
+      const double lhs = (2.0 * m + 1.0) * f[m];
+      const double rhs = 2.0 * x * f[m + 1] + ex;
+      EXPECT_NEAR(lhs, rhs, 1e-10 * std::max(1.0, lhs)) << "m=" << m
+                                                        << " x=" << x;
+    }
+  }
+}
+
+TEST(BoysTest, MonotoneDecreasingInM) {
+  double f[kBoysMaxM + 1];
+  for (double x : {0.0, 1.0, 10.0, 50.0}) {
+    boys(kBoysMaxM, x, f);
+    for (int m = 1; m <= kBoysMaxM; ++m) {
+      EXPECT_LE(f[m], f[m - 1]) << "x=" << x;
+      EXPECT_GT(f[m], 0.0);
+    }
+  }
+}
+
+TEST(BoysTest, BothBranchesExactAtTableBoundary) {
+  // Just below x = 32 the table/Taylor path serves values; just above, the
+  // asymptotic path.  Both must agree with the closed form
+  // F_0(x) = sqrt(pi/(4x)) erf(sqrt(x)) to full precision.
+  for (double x : {31.9999, 32.0001}) {
+    double f[9];
+    boys(8, x, f);
+    const double exact = 0.5 * std::sqrt(kPi / x) * std::erf(std::sqrt(x));
+    EXPECT_NEAR(f[0], exact, 1e-12 * exact) << "x=" << x;
+    // Higher orders via the downward identity.
+    const double ex = std::exp(-x);
+    for (int m = 0; m < 8; ++m) {
+      EXPECT_NEAR((2.0 * m + 1.0) * f[m], 2.0 * x * f[m + 1] + ex,
+                  1e-11 * f[m])
+          << "x=" << x << " m=" << m;
+    }
+  }
+}
+
+TEST(BoysTest, SingleValueHelper) {
+  const BoysTable& table = BoysTable::instance();
+  double f[5];
+  table.eval(4, 2.5, f);
+  EXPECT_DOUBLE_EQ(table.value(4, 2.5), f[4]);
+}
+
+TEST(BoysTest, LargeArgumentAsymptotics) {
+  // F_m(x) -> (2m-1)!! / 2^{m+1} sqrt(pi / x^{2m+1}) as x -> inf.
+  double f[4];
+  const double x = 1000.0;
+  boys(3, x, f);
+  double dfact = 1.0;
+  for (int m = 0; m <= 3; ++m) {
+    const double expect =
+        dfact / std::pow(2.0, m + 1) * std::sqrt(kPi / std::pow(x, 2 * m + 1));
+    EXPECT_NEAR(f[m], expect, 1e-8 * expect) << m;
+    dfact *= 2.0 * m + 1.0;
+  }
+}
+
+}  // namespace
+}  // namespace mako

@@ -1,0 +1,57 @@
+// Periodic-table data tests.
+#include <gtest/gtest.h>
+
+#include "chem/elements.hpp"
+
+namespace mako {
+namespace {
+
+TEST(ElementsTest, SymbolRoundTrip) {
+  for (int z = 1; z <= kMaxZ; ++z) {
+    EXPECT_EQ(atomic_number(element_symbol(z)), z) << element_symbol(z);
+  }
+}
+
+TEST(ElementsTest, CommonSymbols) {
+  EXPECT_EQ(atomic_number("H"), 1);
+  EXPECT_EQ(atomic_number("He"), 2);
+  EXPECT_EQ(atomic_number("C"), 6);
+  EXPECT_EQ(atomic_number("N"), 7);
+  EXPECT_EQ(atomic_number("O"), 8);
+  EXPECT_EQ(atomic_number("S"), 16);
+  EXPECT_EQ(atomic_number("Fe"), 26);
+  EXPECT_EQ(atomic_number("Zn"), 30);
+}
+
+TEST(ElementsTest, CaseInsensitiveFirstLetter) {
+  EXPECT_EQ(atomic_number("h"), 1);
+  EXPECT_EQ(atomic_number("fe"), 26);
+}
+
+TEST(ElementsTest, UnknownSymbolReturnsZero) {
+  EXPECT_EQ(atomic_number("Xx"), 0);
+  EXPECT_EQ(atomic_number(""), 0);
+}
+
+TEST(ElementsTest, OutOfRangeSymbol) {
+  EXPECT_STREQ(element_symbol(0), "?");
+  EXPECT_STREQ(element_symbol(kMaxZ + 1), "?");
+}
+
+TEST(ElementsTest, RadiiArePositiveAndOrdered) {
+  for (int z = 1; z <= kMaxZ; ++z) {
+    EXPECT_GT(covalent_radius_bohr(z), 0.0) << z;
+    EXPECT_GT(bragg_radius_bohr(z), 0.0) << z;
+  }
+  // Hydrogen is smaller than carbon which is smaller than sodium.
+  EXPECT_LT(covalent_radius_bohr(1), covalent_radius_bohr(6));
+  EXPECT_LT(covalent_radius_bohr(6), covalent_radius_bohr(11));
+}
+
+TEST(ElementsTest, UnitConversionConsistent) {
+  EXPECT_NEAR(kAngstromPerBohr * kBohrPerAngstrom, 1.0, 1e-15);
+  EXPECT_NEAR(kBohrPerAngstrom, 1.8897261246, 1e-9);
+}
+
+}  // namespace
+}  // namespace mako

@@ -1,0 +1,122 @@
+// Reuse-guided fusion planner tests (Eq. 12/13 of the paper).
+#include <gtest/gtest.h>
+
+#include "compilermako/fusion_planner.hpp"
+
+namespace mako {
+namespace {
+
+TEST(FusionFootprintTest, DeeperFusionNeedsMoreSmem) {
+  const EriClassKey key{2, 2, 2, 2, 1, 1};
+  GemmConfig gemm;
+  const std::size_t s0 =
+      fusion_smem_footprint(key, FusionStrategy::kUnfused, gemm);
+  const std::size_t s1 =
+      fusion_smem_footprint(key, FusionStrategy::kFuseRPq, gemm);
+  const std::size_t s2 =
+      fusion_smem_footprint(key, FusionStrategy::kFullyFused, gemm);
+  EXPECT_LT(s0, s1);
+  EXPECT_LT(s1, s2);
+}
+
+TEST(FusionFootprintTest, GrowsWithAngularMomentum) {
+  GemmConfig gemm;
+  const std::size_t sd = fusion_smem_footprint(
+      EriClassKey{2, 2, 2, 2, 1, 1}, FusionStrategy::kFullyFused, gemm);
+  const std::size_t sg = fusion_smem_footprint(
+      EriClassKey{4, 4, 4, 4, 1, 1}, FusionStrategy::kFullyFused, gemm);
+  EXPECT_LT(sd, sg);
+}
+
+TEST(FusionFootprintTest, QuantizedTilesAreSmaller) {
+  const EriClassKey key{3, 3, 3, 3, 1, 1};
+  GemmConfig fp64;
+  GemmConfig fp16 = fp64;
+  fp16.precision = Precision::kFP16;
+  EXPECT_LT(fusion_smem_footprint(key, FusionStrategy::kFullyFused, fp16),
+            fusion_smem_footprint(key, FusionStrategy::kFullyFused, fp64));
+}
+
+TEST(FusionPlanTest, BudgetConstraintEnforced) {
+  // Eq. 13: every feasible plan must fit within half the SMEM.
+  const DeviceSpec a100 = DeviceSpec::a100();
+  GemmConfig gemm;
+  for (int l = 0; l <= 4; ++l) {
+    const EriClassKey key{l, l, l, l, 1, 1};
+    for (const FusionPlan& p : enumerate_fusion_plans(key, gemm, a100)) {
+      if (p.feasible) {
+        EXPECT_LE(p.smem_bytes, a100.fusion_smem_budget())
+            << key.name() << " " << to_string(p.strategy);
+      }
+    }
+  }
+}
+
+TEST(FusionPlanTest, CoalescingRequiresKEqualsOne) {
+  const DeviceSpec a100 = DeviceSpec::a100();
+  GemmConfig gemm;
+  const auto plans =
+      enumerate_fusion_plans(EriClassKey{1, 1, 1, 1, 5, 5}, gemm, a100);
+  for (const FusionPlan& p : plans) {
+    if (p.strategy == FusionStrategy::kFullyFused) {
+      EXPECT_FALSE(p.feasible);
+    }
+  }
+}
+
+TEST(FusionPlanTest, LowAngularMomentumFullyFuses) {
+  // (ss|ss) K=1 trivially fits: the planner must pick full coalescing.
+  const FusionPlan p =
+      plan_fusion(EriClassKey{0, 0, 0, 0, 1, 1}, {}, DeviceSpec::a100());
+  EXPECT_EQ(p.strategy, FusionStrategy::kFullyFused);
+  EXPECT_EQ(p.kernel_launches, 1);
+  EXPECT_DOUBLE_EQ(p.global_traffic_per_quartet, 0.0);
+}
+
+TEST(FusionPlanTest, ContractedClassesFuseRPqOnly) {
+  const FusionPlan p =
+      plan_fusion(EriClassKey{1, 1, 1, 1, 9, 9}, {}, DeviceSpec::a100());
+  EXPECT_EQ(p.strategy, FusionStrategy::kFuseRPq);
+}
+
+TEST(FusionPlanTest, TinySmemDeviceFallsBack) {
+  DeviceSpec tiny = DeviceSpec::a100();
+  tiny.smem_per_sm_bytes = 4 * 1024;  // pathological device
+  const FusionPlan p = plan_fusion(EriClassKey{4, 4, 4, 4, 1, 1}, {}, tiny);
+  EXPECT_EQ(p.strategy, FusionStrategy::kUnfused);
+}
+
+TEST(FusionPlanTest, DeeperFusionReducesLaunchesAndTraffic) {
+  const DeviceSpec a100 = DeviceSpec::a100();
+  const auto plans =
+      enumerate_fusion_plans(EriClassKey{2, 2, 2, 2, 1, 1}, {}, a100);
+  ASSERT_EQ(plans.size(), 3u);
+  EXPECT_GT(plans[0].kernel_launches, plans[1].kernel_launches);
+  EXPECT_GT(plans[1].kernel_launches, plans[2].kernel_launches);
+  EXPECT_GT(plans[0].global_traffic_per_quartet,
+            plans[1].global_traffic_per_quartet);
+  EXPECT_GT(plans[1].global_traffic_per_quartet,
+            plans[2].global_traffic_per_quartet);
+}
+
+TEST(FusionPlanTest, ApplyPlanSetsFlags) {
+  KernelConfig config;
+  FusionPlan plan;
+  plan.strategy = FusionStrategy::kUnfused;
+  apply_plan(plan, config);
+  EXPECT_FALSE(config.fuse_gemms);
+  EXPECT_FALSE(config.use_swizzle);
+  plan.strategy = FusionStrategy::kFullyFused;
+  apply_plan(plan, config);
+  EXPECT_TRUE(config.fuse_gemms);
+  EXPECT_TRUE(config.use_swizzle);
+}
+
+TEST(FusionPlanTest, StrategyNames) {
+  EXPECT_STREQ(to_string(FusionStrategy::kUnfused), "unfused");
+  EXPECT_NE(std::string(to_string(FusionStrategy::kFullyFused)).find("coalescing"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mako

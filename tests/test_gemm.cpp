@@ -1,0 +1,198 @@
+// GEMM micro-kernel tests: correctness across tile/ILP configurations and
+// the numerical contracts of the quantized (tensor-core-emulating) path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "linalg/gemm.hpp"
+#include "util/rng.hpp"
+
+namespace mako {
+namespace {
+
+void naive_gemm(const std::vector<double>& a, const std::vector<double>& b,
+                std::vector<double>& c, std::size_t m, std::size_t n,
+                std::size_t k, double alpha, double beta) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += a[i * k + kk] * b[kk * n + j];
+      c[i * n + j] = beta * c[i * n + j] + alpha * acc;
+    }
+  }
+}
+
+std::vector<double> random_buffer(std::size_t n, Rng& rng, double lo = -1.0,
+                                  double hi = 1.0) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+// --- Parameterized over (m, n, k, tile_m, tile_n, tile_k, ilp) --------------
+
+using GemmParam = std::tuple<int, int, int, int, int, int, int>;
+
+class GemmConfigTest : public ::testing::TestWithParam<GemmParam> {};
+
+TEST_P(GemmConfigTest, MatchesNaive) {
+  const auto [m, n, k, tm, tn, tk, ilp] = GetParam();
+  Rng rng(m * 1000003 + n * 7919 + k * 13 + ilp);
+  const auto a = random_buffer(static_cast<std::size_t>(m) * k, rng);
+  const auto b = random_buffer(static_cast<std::size_t>(k) * n, rng);
+  auto c = random_buffer(static_cast<std::size_t>(m) * n, rng);
+  auto expected = c;
+
+  GemmConfig cfg;
+  cfg.tile_m = tm;
+  cfg.tile_n = tn;
+  cfg.tile_k = tk;
+  cfg.ilp = ilp;
+
+  gemm_fp64(a.data(), b.data(), c.data(), m, n, k, 1.0, 1.0, cfg);
+  naive_gemm(a, b, expected, m, n, k, 1.0, 1.0);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], 1e-11) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndTiles, GemmConfigTest,
+    ::testing::Values(
+        GemmParam{1, 1, 1, 16, 16, 16, 1}, GemmParam{3, 5, 7, 16, 16, 16, 2},
+        GemmParam{17, 19, 23, 8, 8, 8, 4}, GemmParam{32, 32, 32, 16, 16, 16, 8},
+        GemmParam{50, 40, 60, 48, 48, 32, 16},
+        GemmParam{65, 65, 65, 32, 32, 32, 32},
+        GemmParam{128, 16, 33, 48, 16, 16, 4},
+        GemmParam{9, 81, 25, 16, 48, 32, 2}));
+
+TEST(GemmTest, AlphaBetaSemantics) {
+  Rng rng(5);
+  const int m = 12, n = 9, k = 15;
+  const auto a = random_buffer(m * k, rng);
+  const auto b = random_buffer(k * n, rng);
+  auto c = random_buffer(m * n, rng);
+  auto expected = c;
+  gemm_fp64(a.data(), b.data(), c.data(), m, n, k, -2.5, 0.75);
+  naive_gemm(a, b, expected, m, n, k, -2.5, 0.75);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], expected[i], 1e-12);
+}
+
+TEST(GemmTest, BetaZeroIgnoresGarbage) {
+  const int m = 4, n = 4, k = 4;
+  std::vector<double> a(m * k, 1.0), b(k * n, 1.0);
+  std::vector<double> c(m * n, std::nan(""));
+  gemm_fp64(a.data(), b.data(), c.data(), m, n, k, 1.0, 0.0);
+  for (double v : c) EXPECT_DOUBLE_EQ(v, 4.0);
+}
+
+TEST(GemmTest, MatrixWrappers) {
+  Rng rng(9);
+  MatrixD a(6, 4), b(6, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.uniform(-1, 1);
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.uniform(-1, 1);
+  // C = A^T * B.
+  const MatrixD c = matmul(a, Trans::kYes, b, Trans::kNo);
+  EXPECT_EQ(c.rows(), 4u);
+  EXPECT_EQ(c.cols(), 5u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < 6; ++kk) acc += a(kk, i) * b(kk, j);
+      EXPECT_NEAR(c(i, j), acc, 1e-12);
+    }
+  }
+}
+
+// --- Quantized path ----------------------------------------------------------
+
+class QuantGemmTest : public ::testing::TestWithParam<Precision> {};
+
+TEST_P(QuantGemmTest, ErrorWithinFormatBound) {
+  const Precision prec = GetParam();
+  Rng rng(42);
+  const int m = 24, n = 20, k = 36;
+  const auto a = random_buffer(m * k, rng);
+  const auto b = random_buffer(k * n, rng);
+  std::vector<double> c(m * n, 0.0), expected(m * n, 0.0);
+
+  GemmConfig cfg;
+  cfg.precision = prec;
+  gemm_quantized(a.data(), b.data(), c.data(), m, n, k, 1.0, 0.0, cfg);
+  naive_gemm(a, b, expected, m, n, k, 1.0, 0.0);
+
+  // Operand rounding error ~2^-11 (FP16/TF32) or 2^-24 (FP32), amplified by
+  // the reduction length.
+  const double eps = (prec == Precision::kFP32) ? std::ldexp(1.0, -24)
+                                                : std::ldexp(1.0, -11);
+  const double bound = 4.0 * eps * k;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrecisions, QuantGemmTest,
+                         ::testing::Values(Precision::kFP32, Precision::kTF32,
+                                           Precision::kFP16));
+
+TEST(QuantGemmTest, Fp64PathIsExact) {
+  Rng rng(1);
+  const int m = 8, n = 8, k = 8;
+  const auto a = random_buffer(m * k, rng);
+  const auto b = random_buffer(k * n, rng);
+  std::vector<double> c(m * n, 0.0), expected(m * n, 0.0);
+  GemmConfig cfg;
+  cfg.precision = Precision::kFP64;
+  gemm_quantized(a.data(), b.data(), c.data(), m, n, k, 1.0, 0.0, cfg);
+  naive_gemm(a, b, expected, m, n, k, 1.0, 0.0);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], expected[i], 1e-13);
+}
+
+TEST(QuantGemmTest, DualStageAccumulationBeatsNaiveFp16Sum) {
+  // Summing many equal values: FP32 accumulation keeps them; an FP16
+  // accumulator would stall once the partial sum dwarfs the addend.
+  const int k = 4096;
+  std::vector<double> a(k, 1.0), b(k, 1.0);  // 1 x k times k x 1
+  std::vector<double> c(1, 0.0);
+  GemmConfig cfg;
+  cfg.precision = Precision::kFP16;
+  gemm_quantized(a.data(), b.data(), c.data(), 1, 1, k, 1.0, 0.0, cfg);
+  EXPECT_NEAR(c[0], 4096.0, 1.0);  // naive FP16 accumulation would give 2048
+}
+
+TEST(QuantGemmTest, Fp16OverflowsWithoutScaling) {
+  // Large operands overflow binary16 on entry: this is exactly why
+  // QuantMako's group scaling exists.
+  std::vector<double> a(1, 1e6), b(1, 1e6);
+  std::vector<double> c(1, 0.0);
+  GemmConfig cfg;
+  cfg.precision = Precision::kFP16;
+  gemm_quantized(a.data(), b.data(), c.data(), 1, 1, 1, 1.0, 0.0, cfg);
+  EXPECT_TRUE(std::isinf(c[0]));
+}
+
+TEST(QuantGemmTest, NaiveFp16AccumulatorStalls) {
+  // Summing 4096 ones with a binary16 accumulator saturates at 2048 (adding
+  // 1 to 2048 rounds back to 2048); the dual-stage kernel gets 4096.
+  const int k = 4096;
+  std::vector<double> a(k, 1.0), b(k, 1.0);
+  std::vector<double> c(1, 0.0);
+  gemm_fp16_naive(a.data(), b.data(), c.data(), 1, 1, k, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(c[0], 2048.0);
+}
+
+TEST(QuantGemmTest, NaiveFp16MatchesExactOnTinyProblems) {
+  std::vector<double> a{1.0, 2.0}, b{0.5, 0.25};
+  std::vector<double> c(1, 0.0);
+  gemm_fp16_naive(a.data(), b.data(), c.data(), 1, 1, 2, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+}
+
+TEST(GemmTest, FlopsCount) {
+  EXPECT_DOUBLE_EQ(gemm_flops(2, 3, 4), 48.0);
+}
+
+}  // namespace
+}  // namespace mako

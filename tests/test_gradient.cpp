@@ -1,0 +1,116 @@
+// Analytic RHF nuclear gradient tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "basis/basis_set.hpp"
+#include "chem/builders.hpp"
+#include "scf/gradient.hpp"
+
+namespace mako {
+namespace {
+
+ScfOptions tight_options() {
+  ScfOptions opt;
+  opt.energy_convergence = 1e-11;
+  opt.diis_convergence = 1e-9;
+  opt.max_iterations = 200;
+  return opt;
+}
+
+Molecule stretched_h2(double r) {
+  Molecule m;
+  m.add_atom(1, 0, 0, 0);
+  m.add_atom(1, 0, 0, r);
+  return m;
+}
+
+TEST(GradientTest, H2MatchesFiniteDifference) {
+  const Molecule h2 = stretched_h2(1.6);
+  const BasisSet basis(h2, "sto-3g");
+  const ScfResult scf = run_scf(h2, basis, tight_options());
+  const GradientResult g = rhf_gradient(h2, basis, scf);
+  const GradientResult gn = numerical_gradient(h2, "sto-3g", tight_options());
+  for (std::size_t a = 0; a < 2; ++a) {
+    for (int ax = 0; ax < 3; ++ax) {
+      EXPECT_NEAR(g.gradient[a][ax], gn.gradient[a][ax], 1e-7);
+    }
+  }
+  // Stretched bond: atoms pulled together (dE/dr > 0 at r > r_eq).
+  EXPECT_GT(g.gradient[1][2], 0.01);
+}
+
+TEST(GradientTest, H2EquilibriumNearZeroForce)
+{
+  // RHF/STO-3G H2 equilibrium is near 1.346 Bohr; the gradient there is a
+  // couple orders smaller than at the stretched geometry.
+  const Molecule h2 = stretched_h2(1.346);
+  const BasisSet basis(h2, "sto-3g");
+  const ScfResult scf = run_scf(h2, basis, tight_options());
+  const GradientResult g = rhf_gradient(h2, basis, scf);
+  EXPECT_LT(g.max_component(), 5e-3);
+}
+
+TEST(GradientTest, WaterMatchesFiniteDifference) {
+  Molecule w = make_water();
+  {
+    std::vector<Atom> atoms = w.atoms();
+    atoms[1].position[0] += 0.08;  // break symmetry
+    w = Molecule(atoms, 0);
+  }
+  const BasisSet basis(w, "sto-3g");
+  const ScfResult scf = run_scf(w, basis, tight_options());
+  const GradientResult g = rhf_gradient(w, basis, scf);
+  const GradientResult gn = numerical_gradient(w, "sto-3g", tight_options());
+  for (std::size_t a = 0; a < w.size(); ++a) {
+    for (int ax = 0; ax < 3; ++ax) {
+      EXPECT_NEAR(g.gradient[a][ax], gn.gradient[a][ax], 1e-6)
+          << "atom=" << a << " axis=" << ax;
+    }
+  }
+}
+
+TEST(GradientTest, TranslationalInvariance) {
+  const Molecule w = make_water_cluster(2, 11);
+  const BasisSet basis(w, "sto-3g");
+  const ScfResult scf = run_scf(w, basis, tight_options());
+  const GradientResult g = rhf_gradient(w, basis, scf);
+  for (int ax = 0; ax < 3; ++ax) {
+    double sum = 0.0;
+    for (const Vec3& v : g.gradient) sum += v[ax];
+    EXPECT_NEAR(sum, 0.0, 1e-9) << "axis=" << ax;
+  }
+}
+
+TEST(GradientTest, PShellGradientCorrect631G) {
+  // 6-31G exercises p-shell raise/lower paths through the whole chain.
+  const Molecule h2 = stretched_h2(1.5);
+  const BasisSet basis(h2, "6-31g");
+  const ScfResult scf = run_scf(h2, basis, tight_options());
+  const GradientResult g = rhf_gradient(h2, basis, scf);
+  const GradientResult gn = numerical_gradient(h2, "6-31g", tight_options());
+  for (std::size_t a = 0; a < 2; ++a) {
+    for (int ax = 0; ax < 3; ++ax) {
+      EXPECT_NEAR(g.gradient[a][ax], gn.gradient[a][ax], 1e-6);
+    }
+  }
+}
+
+TEST(GradientTest, RejectsDftResults) {
+  const Molecule w = make_water();
+  const BasisSet basis(w, "sto-3g");
+  ScfOptions opt = tight_options();
+  opt.xc = XcFunctional(XcKind::kLDA);
+  const ScfResult scf = run_scf(w, basis, opt);
+  EXPECT_THROW(rhf_gradient(w, basis, scf), std::invalid_argument);
+}
+
+TEST(GradientTest, MetricsComputed) {
+  GradientResult g;
+  g.gradient = {{3.0, 0.0, 0.0}, {0.0, -4.0, 0.0}};
+  EXPECT_DOUBLE_EQ(g.max_component(), 4.0);
+  EXPECT_NEAR(g.rms(), std::sqrt(25.0 / 6.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace mako

@@ -1,0 +1,115 @@
+// DFT integration grid tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/builders.hpp"
+#include "scf/grid.hpp"
+
+namespace mako {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(GaussLegendreTest, WeightsSumToTwo) {
+  for (int n : {2, 4, 8, 12, 16, 32}) {
+    std::vector<double> x, w;
+    gauss_legendre(n, x, w);
+    double sum = 0.0;
+    for (double v : w) sum += v;
+    EXPECT_NEAR(sum, 2.0, 1e-12) << n;
+  }
+}
+
+TEST(GaussLegendreTest, ExactForPolynomials) {
+  // n-point GL integrates degree <= 2n-1 exactly.
+  std::vector<double> x, w;
+  gauss_legendre(6, x, w);
+  for (int deg : {0, 2, 4, 6, 8, 10}) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) acc += w[i] * std::pow(x[i], deg);
+    const double exact = 2.0 / (deg + 1);  // int_{-1}^1 t^deg dt, even deg
+    EXPECT_NEAR(acc, exact, 1e-12) << deg;
+  }
+}
+
+TEST(GaussLegendreTest, NodesSymmetricAndSorted) {
+  std::vector<double> x, w;
+  gauss_legendre(10, x, w);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(x[i], -x[9 - i], 1e-13);
+    if (i > 0) EXPECT_GT(x[i], x[i - 1]);
+  }
+}
+
+double integrate_gaussian(const MolecularGrid& grid, const Vec3& center,
+                          double alpha) {
+  double acc = 0.0;
+  for (const GridPoint& p : grid.points()) {
+    const double r2 = distance(p.position, center) * distance(p.position, center);
+    acc += p.weight * std::exp(-alpha * r2);
+  }
+  return acc;
+}
+
+TEST(GridTest, IntegratesSingleGaussianExactly) {
+  Molecule atom;
+  atom.add_atom(8, 0, 0, 0);
+  const MolecularGrid grid(atom, GridSpec::standard());
+  for (double alpha : {0.5, 1.0, 4.0}) {
+    const double expect = std::pow(kPi / alpha, 1.5);
+    EXPECT_NEAR(integrate_gaussian(grid, {0, 0, 0}, alpha), expect,
+                1e-5 * expect)
+        << alpha;
+  }
+}
+
+TEST(GridTest, BeckeWeightsPartitionDiatomic) {
+  // A Gaussian centered on each atom of a diatomic integrates correctly even
+  // though the grid is partitioned between the two centers.
+  Molecule m;
+  m.add_atom(8, 0, 0, 0);
+  m.add_atom(8, 0, 0, 2.2);
+  const MolecularGrid grid(m, GridSpec::standard());
+  const double expect = std::pow(kPi / 1.3, 1.5);
+  EXPECT_NEAR(integrate_gaussian(grid, {0, 0, 0}, 1.3), expect, 2e-4 * expect);
+  EXPECT_NEAR(integrate_gaussian(grid, {0, 0, 2.2}, 1.3), expect,
+              2e-4 * expect);
+}
+
+TEST(GridTest, HeteronuclearSizeAdjustment) {
+  // O-H: the size-adjusted Becke partition must still integrate a Gaussian
+  // on the small atom (H) accurately.
+  Molecule m;
+  m.add_atom(8, 0, 0, 0);
+  m.add_atom(1, 0, 0, 1.8);
+  const MolecularGrid grid(m, GridSpec::standard());
+  const double expect = std::pow(kPi / 2.0, 1.5);
+  EXPECT_NEAR(integrate_gaussian(grid, {0, 0, 1.8}, 2.0), expect,
+              5e-4 * expect);
+}
+
+TEST(GridTest, AllWeightsPositive) {
+  const Molecule w = make_water();
+  const MolecularGrid grid(w, GridSpec::coarse());
+  EXPECT_GT(grid.size(), 1000u);
+  for (const GridPoint& p : grid.points()) {
+    EXPECT_GT(p.weight, 0.0);
+  }
+}
+
+TEST(GridTest, FinerSpecGivesMorePoints) {
+  const Molecule w = make_water();
+  EXPECT_LT(MolecularGrid(w, GridSpec::coarse()).size(),
+            MolecularGrid(w, GridSpec::standard()).size());
+  EXPECT_LT(MolecularGrid(w, GridSpec::standard()).size(),
+            MolecularGrid(w, GridSpec::fine()).size());
+}
+
+TEST(GridTest, EmptyMoleculeEmptyGrid) {
+  const MolecularGrid grid(Molecule{}, GridSpec::coarse());
+  EXPECT_EQ(grid.size(), 0u);
+}
+
+}  // namespace
+}  // namespace mako

@@ -1,0 +1,100 @@
+// Unit tests for the dense matrix container and its metric helpers.
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hpp"
+
+namespace mako {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  MatrixD m(3, 4, 1.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_DOUBLE_EQ(m(2, 3), 1.5);
+  m(1, 2) = -2.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), -2.0);
+}
+
+TEST(MatrixTest, Identity) {
+  const MatrixD id = MatrixD::identity(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, Transpose) {
+  MatrixD m(2, 3);
+  int v = 0;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) m(i, j) = ++v;
+  const MatrixD t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(t(j, i), m(i, j));
+}
+
+TEST(MatrixTest, Arithmetic) {
+  MatrixD a(2, 2, 1.0), b(2, 2, 2.0);
+  MatrixD c = a + b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 3.0);
+  c -= a;
+  EXPECT_DOUBLE_EQ(c(1, 1), 2.0);
+  c *= 0.5;
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  const MatrixD d = 2.0 * a;
+  EXPECT_DOUBLE_EQ(d(1, 0), 2.0);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  MatrixD m(1, 2);
+  m(0, 0) = 3.0;
+  m(0, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(frobenius_norm(m), 5.0);
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  MatrixD a(2, 2, 1.0), b(2, 2, 1.0);
+  b(1, 0) = -1.5;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 2.5);
+}
+
+TEST(MatrixTest, Rmse) {
+  MatrixD a(1, 4, 0.0), b(1, 4, 0.0);
+  b(0, 0) = 2.0;  // single error of 2 over 4 entries -> sqrt(4/4) = 1
+  EXPECT_DOUBLE_EQ(rmse(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(rmse(a, a), 0.0);
+}
+
+TEST(MatrixTest, TraceProduct) {
+  MatrixD a(2, 2), b(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  // trace(A*B) = sum_ij A_ij B_ji = 1*5 + 2*7 + 3*6 + 4*8 = 69.
+  EXPECT_DOUBLE_EQ(trace_product(a, b), 69.0);
+}
+
+TEST(MatrixTest, ResizeClears) {
+  MatrixD m(2, 2, 9.0);
+  m.resize(3, 3, 1.0);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_DOUBLE_EQ(m(2, 2), 1.0);
+}
+
+TEST(MatrixTest, FillOverwrites) {
+  MatrixD m(2, 2, 9.0);
+  m.fill(0.0);
+  EXPECT_DOUBLE_EQ(frobenius_norm(m), 0.0);
+}
+
+}  // namespace
+}  // namespace mako

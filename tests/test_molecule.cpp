@@ -1,0 +1,94 @@
+// Molecule container and XYZ I/O tests.
+#include <gtest/gtest.h>
+
+#include "chem/elements.hpp"
+#include "chem/molecule.hpp"
+
+namespace mako {
+namespace {
+
+TEST(MoleculeTest, ElectronsAndCharge) {
+  Molecule m;
+  m.add_atom(8, 0, 0, 0);
+  m.add_atom(1, 0, 0, 1.8);
+  m.add_atom(1, 0, 1.8, 0);
+  EXPECT_EQ(m.num_electrons(), 10);
+  m.set_charge(1);
+  EXPECT_EQ(m.num_electrons(), 9);
+}
+
+TEST(MoleculeTest, NuclearRepulsionH2) {
+  Molecule m;
+  m.add_atom(1, 0, 0, 0);
+  m.add_atom(1, 0, 0, 1.4);
+  EXPECT_NEAR(m.nuclear_repulsion(), 1.0 / 1.4, 1e-14);
+}
+
+TEST(MoleculeTest, NuclearRepulsionScalesWithCharge) {
+  Molecule m;
+  m.add_atom(8, 0, 0, 0);
+  m.add_atom(8, 0, 0, 2.0);
+  EXPECT_NEAR(m.nuclear_repulsion(), 64.0 / 2.0, 1e-12);
+}
+
+TEST(MoleculeTest, RecenterZeroesChargeCentroid) {
+  Molecule m;
+  m.add_atom(8, 1.0, 2.0, 3.0);
+  m.add_atom(1, 4.0, 2.0, 3.0);
+  m.recenter();
+  double cx = 0.0, zq = 0.0;
+  for (const Atom& a : m.atoms()) {
+    cx += a.z * a.position[0];
+    zq += a.z;
+  }
+  EXPECT_NEAR(cx / zq, 0.0, 1e-13);
+}
+
+TEST(XyzTest, ParseBasic) {
+  const std::string text =
+      "3\nwater\nO 0.0 0.0 0.117\nH 0.0 0.757 -0.467\nH 0.0 -0.757 -0.467\n";
+  const Molecule m = Molecule::from_xyz(text);
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.atoms()[0].z, 8);
+  EXPECT_EQ(m.atoms()[1].z, 1);
+  // Coordinates converted to Bohr.
+  EXPECT_NEAR(m.atoms()[0].position[2], 0.117 * kBohrPerAngstrom, 1e-12);
+}
+
+TEST(XyzTest, RoundTrip) {
+  Molecule m;
+  m.add_atom(6, 0.1, -0.2, 0.3);
+  m.add_atom(1, 1.0, 2.0, -3.0);
+  const Molecule back = Molecule::from_xyz(m.to_xyz("comment"));
+  ASSERT_EQ(back.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(back.atoms()[i].z, m.atoms()[i].z);
+    for (int ax = 0; ax < 3; ++ax) {
+      EXPECT_NEAR(back.atoms()[i].position[ax], m.atoms()[i].position[ax],
+                  1e-7);
+    }
+  }
+}
+
+TEST(XyzTest, MalformedInputs) {
+  EXPECT_THROW(Molecule::from_xyz(""), std::runtime_error);
+  EXPECT_THROW(Molecule::from_xyz("abc\ncomment\n"), std::runtime_error);
+  EXPECT_THROW(Molecule::from_xyz("2\ncomment\nH 0 0 0\n"),
+               std::runtime_error);  // missing atom line
+  EXPECT_THROW(Molecule::from_xyz("1\ncomment\nQq 0 0 0\n"),
+               std::runtime_error);  // unknown element
+  EXPECT_THROW(Molecule::from_xyz("1\ncomment\nH 0 0\n"),
+               std::runtime_error);  // missing coordinate
+}
+
+TEST(XyzTest, MissingFileThrows) {
+  EXPECT_THROW(Molecule::from_xyz_file("/nonexistent/file.xyz"),
+               std::runtime_error);
+}
+
+TEST(Vec3Test, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0, 0}, {3, 4, 0}), 5.0);
+}
+
+}  // namespace
+}  // namespace mako

@@ -1,0 +1,117 @@
+// One-electron integral tests, anchored to the Szabo-Ostlund H2/STO-3G
+// reference values (exact literature numbers).
+#include <gtest/gtest.h>
+
+#include "basis/basis_set.hpp"
+#include "chem/builders.hpp"
+#include "integrals/one_electron.hpp"
+#include "linalg/eigen.hpp"
+
+namespace mako {
+namespace {
+
+Molecule h2_molecule() {
+  Molecule m;
+  m.add_atom(1, 0, 0, 0);
+  m.add_atom(1, 0, 0, 1.4);  // Bohr
+  return m;
+}
+
+TEST(OneElectronTest, H2OverlapMatchesSzaboOstlund) {
+  const Molecule h2 = h2_molecule();
+  const BasisSet bs(h2, "sto-3g");
+  const MatrixD s = overlap_matrix(bs);
+  EXPECT_NEAR(s(0, 0), 1.0, 1e-10);
+  EXPECT_NEAR(s(0, 1), 0.6593, 1e-4);
+  EXPECT_NEAR(s(1, 0), s(0, 1), 1e-14);
+}
+
+TEST(OneElectronTest, H2KineticMatchesSzaboOstlund) {
+  const Molecule h2 = h2_molecule();
+  const BasisSet bs(h2, "sto-3g");
+  const MatrixD t = kinetic_matrix(bs);
+  EXPECT_NEAR(t(0, 0), 0.7600, 1e-4);
+  EXPECT_NEAR(t(0, 1), 0.2365, 1e-4);
+}
+
+TEST(OneElectronTest, H2NuclearMatchesSzaboOstlund) {
+  const Molecule h2 = h2_molecule();
+  const BasisSet bs(h2, "sto-3g");
+  const MatrixD v = nuclear_attraction_matrix(bs, h2);
+  // Sum over both centers: V11 = -1.2266 - 0.6538 = -1.8804.
+  EXPECT_NEAR(v(0, 0), -1.8804, 1e-4);
+  EXPECT_NEAR(v(0, 1), -1.1948, 1e-4);
+}
+
+TEST(OneElectronTest, CoreHamiltonianIsSum) {
+  const Molecule h2 = h2_molecule();
+  const BasisSet bs(h2, "sto-3g");
+  const MatrixD h = core_hamiltonian(bs, h2);
+  const MatrixD t = kinetic_matrix(bs);
+  const MatrixD v = nuclear_attraction_matrix(bs, h2);
+  EXPECT_NEAR(h(0, 1), t(0, 1) + v(0, 1), 1e-14);
+}
+
+class OneElectronBasisTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OneElectronBasisTest, MatricesSymmetric) {
+  const Molecule w = make_water();
+  const BasisSet bs(w, GetParam());
+  const MatrixD s = overlap_matrix(bs);
+  const MatrixD t = kinetic_matrix(bs);
+  const MatrixD v = nuclear_attraction_matrix(bs, w);
+  for (std::size_t i = 0; i < bs.nbf(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_NEAR(s(i, j), s(j, i), 1e-12);
+      EXPECT_NEAR(t(i, j), t(j, i), 1e-12);
+      EXPECT_NEAR(v(i, j), v(j, i), 1e-12);
+    }
+  }
+}
+
+TEST_P(OneElectronBasisTest, OverlapPositiveDefinite) {
+  const Molecule w = make_water();
+  const BasisSet bs(w, GetParam());
+  const MatrixD s = overlap_matrix(bs);
+  const EigenResult es = eigh(s);
+  EXPECT_GT(es.eigenvalues.front(), 0.0);
+}
+
+TEST_P(OneElectronBasisTest, KineticPositiveDefinite) {
+  const Molecule w = make_water();
+  const BasisSet bs(w, GetParam());
+  const MatrixD t = kinetic_matrix(bs);
+  const EigenResult es = eigh(t);
+  EXPECT_GT(es.eigenvalues.front(), 0.0);
+}
+
+TEST_P(OneElectronBasisTest, NuclearAttractionNegativeDiagonal) {
+  const Molecule w = make_water();
+  const BasisSet bs(w, GetParam());
+  const MatrixD v = nuclear_attraction_matrix(bs, w);
+  for (std::size_t i = 0; i < bs.nbf(); ++i) {
+    EXPECT_LT(v(i, i), 0.0) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, OneElectronBasisTest,
+                         ::testing::Values("sto-3g", "6-31g", "def2-tzvp"));
+
+TEST(OneElectronTest, HighAngularMomentumSane) {
+  // def2-qzvp reaches g functions; the chain must stay finite & symmetric.
+  Molecule o;
+  o.add_atom(8, 0, 0, 0);
+  const BasisSet bs(o, "def2-qzvp");
+  EXPECT_EQ(bs.max_l(), 4);
+  const MatrixD s = overlap_matrix(bs);
+  for (std::size_t i = 0; i < bs.nbf(); ++i) {
+    EXPECT_NEAR(s(i, i), 1.0, 1e-9);
+    for (std::size_t j = 0; j < bs.nbf(); ++j) {
+      EXPECT_TRUE(std::isfinite(s(i, j)));
+      EXPECT_LE(std::fabs(s(i, j)), 1.0 + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mako

@@ -1,0 +1,146 @@
+// Unit tests for the software-emulated reduced-precision formats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/precision.hpp"
+#include "util/rng.hpp"
+
+namespace mako {
+namespace {
+
+TEST(HalfTest, ZeroRoundTrips) {
+  EXPECT_EQ(half_t(0.0f).to_float(), 0.0f);
+  EXPECT_EQ(half_t(-0.0f).bits(), 0x8000u);
+}
+
+TEST(HalfTest, ExactSmallIntegers) {
+  // Integers up to 2048 are exactly representable in binary16.
+  for (int i = -2048; i <= 2048; i += 17) {
+    EXPECT_EQ(half_t(static_cast<float>(i)).to_float(),
+              static_cast<float>(i))
+        << "i=" << i;
+  }
+}
+
+TEST(HalfTest, PowersOfTwoExact) {
+  for (int e = -14; e <= 15; ++e) {
+    const float v = std::ldexp(1.0f, e);
+    EXPECT_EQ(half_t(v).to_float(), v) << "2^" << e;
+  }
+}
+
+TEST(HalfTest, OverflowBecomesInfinity) {
+  EXPECT_TRUE(half_t(70000.0f).is_inf());
+  EXPECT_TRUE(half_t(-70000.0f).is_inf());
+  EXPECT_GT(half_t(70000.0f).to_float(), 0.0f);
+  EXPECT_LT(half_t(-70000.0f).to_float(), 0.0f);
+}
+
+TEST(HalfTest, MaxFiniteValue) {
+  EXPECT_EQ(half_t(65504.0f).to_float(), 65504.0f);
+  EXPECT_FALSE(half_t(65504.0f).is_inf());
+}
+
+TEST(HalfTest, NanPropagates) {
+  EXPECT_TRUE(half_t(std::numeric_limits<float>::quiet_NaN()).is_nan());
+}
+
+TEST(HalfTest, SubnormalsRepresented) {
+  // Smallest positive subnormal is 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(half_t(tiny).to_float(), tiny);
+  // Below half of it rounds to zero.
+  EXPECT_EQ(half_t(std::ldexp(1.0f, -26)).to_float(), 0.0f);
+}
+
+TEST(HalfTest, RoundToNearestEven) {
+  // 1 + 2^-11 sits exactly between 1.0 and the next half (1 + 2^-10):
+  // ties-to-even picks 1.0 (even mantissa).
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(half_t(halfway).to_float(), 1.0f);
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: picks 1+2^-9 (even).
+  const float halfway2 = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+  EXPECT_EQ(half_t(halfway2).to_float(), 1.0f + std::ldexp(1.0f, -9));
+}
+
+TEST(HalfTest, RelativeErrorBound) {
+  // Round-to-nearest guarantees relative error <= 2^-11 for normal values.
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.log_uniform(1e-4, 6e4) * (i % 2 ? 1.0 : -1.0);
+    const double q = half_t(static_cast<float>(v)).to_float();
+    EXPECT_LE(std::fabs(q - v) / std::fabs(v), std::ldexp(1.0, -11) * 1.0001)
+        << v;
+  }
+}
+
+TEST(Tf32Test, PreservesTenMantissaBits) {
+  // Values with <= 10 mantissa bits are unchanged.
+  EXPECT_EQ(to_tf32(1.5f), 1.5f);
+  EXPECT_EQ(to_tf32(1024.0f + 1.0f), 1025.0f);
+  // Relative error bound 2^-11.
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const float v = static_cast<float>(rng.log_uniform(1e-20, 1e20));
+    EXPECT_LE(std::fabs(to_tf32(v) - v) / v, std::ldexp(1.0, -11) * 1.0001);
+  }
+}
+
+TEST(Tf32Test, WiderRangeThanFp16) {
+  // TF32 keeps the FP32 exponent: 1e10 survives, FP16 would overflow.
+  EXPECT_NEAR(to_tf32(1e10f), 1e10f, 1e10f * 1e-3);
+  EXPECT_TRUE(half_t(1e10f).is_inf());
+}
+
+TEST(QuantizeRoundtripTest, Fp64IsIdentity) {
+  EXPECT_EQ(quantize_roundtrip(1.23456789012345e-7, Precision::kFP64),
+            1.23456789012345e-7);
+}
+
+TEST(QuantizeRoundtripTest, ErrorOrdering) {
+  // FP32 < TF32 <= FP16 error on a generic value.
+  const double v = 0.123456789;
+  const double e32 = std::fabs(quantize_roundtrip(v, Precision::kFP32) - v);
+  const double etf = std::fabs(quantize_roundtrip(v, Precision::kTF32) - v);
+  const double e16 = std::fabs(quantize_roundtrip(v, Precision::kFP16) - v);
+  EXPECT_LE(e32, etf);
+  EXPECT_LE(etf, e16 + 1e-18);
+}
+
+TEST(PrecisionTest, BytesPerElement) {
+  EXPECT_EQ(bytes_per_element(Precision::kFP64), 8u);
+  EXPECT_EQ(bytes_per_element(Precision::kFP32), 4u);
+  EXPECT_EQ(bytes_per_element(Precision::kTF32), 4u);
+  EXPECT_EQ(bytes_per_element(Precision::kFP16), 2u);
+}
+
+TEST(PrecisionTest, Names) {
+  EXPECT_STREQ(to_string(Precision::kFP64), "FP64");
+  EXPECT_STREQ(to_string(Precision::kFP16), "FP16");
+  EXPECT_STREQ(to_string(Precision::kTF32), "TF32");
+}
+
+// Property sweep: half round-trip through bits is the identity on all
+// finite bit patterns.
+class HalfBitsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HalfBitsTest, BitsRoundTrip) {
+  const auto base = static_cast<std::uint16_t>(GetParam());
+  for (std::uint16_t offset = 0; offset < 256; ++offset) {
+    const std::uint16_t bits = base + offset;
+    const half_t h = half_t::from_bits(bits);
+    if (h.is_nan()) continue;
+    const half_t back(h.to_float());
+    // +/-0 collapse aside, conversion must preserve the value exactly.
+    EXPECT_EQ(back.to_float(), h.to_float()) << "bits=" << bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBitBlocks, HalfBitsTest,
+                         ::testing::Values(0x0000, 0x0400, 0x3C00, 0x7000,
+                                           0x8000, 0x8400, 0xBC00, 0xF000));
+
+}  // namespace
+}  // namespace mako

@@ -1,0 +1,99 @@
+// QuantMako quantizer tests: group scaling and format error ordering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quantmako/quantizer.hpp"
+#include "util/rng.hpp"
+
+namespace mako {
+namespace {
+
+TEST(GroupScaleTest, MapsMaxToTarget) {
+  const double vals[] = {0.5, -8.0, 2.0};
+  const GroupScale gs = compute_group_scale(vals, 3, 1.0);
+  EXPECT_DOUBLE_EQ(8.0 * gs.scale, 1.0);
+  EXPECT_DOUBLE_EQ(gs.scale * gs.inv_scale, 1.0);
+}
+
+TEST(GroupScaleTest, ZeroGroupIsIdentity) {
+  const double vals[] = {0.0, 0.0};
+  const GroupScale gs = compute_group_scale(vals, 2);
+  EXPECT_DOUBLE_EQ(gs.scale, 1.0);
+  EXPECT_DOUBLE_EQ(gs.inv_scale, 1.0);
+}
+
+TEST(QuantizeGroupTest, Fp64IsLossless) {
+  Rng rng(3);
+  std::vector<double> in(100), out(100);
+  for (auto& v : in) v = rng.normal(0, 1e3);
+  quantize_group(in.data(), out.data(), in.size(), Precision::kFP64, true);
+  for (std::size_t i = 0; i < in.size(); ++i) EXPECT_EQ(in[i], out[i]);
+}
+
+TEST(QuantizeGroupTest, GroupScalingRescuesWideRange) {
+  // Values far above the FP16 range overflow without scaling but survive
+  // with it — the scenario of Section 3.2.1.
+  std::vector<double> in = {1e6, 5e5, -2e5};
+  std::vector<double> with(3), without(3);
+  quantize_group(in.data(), with.data(), 3, Precision::kFP16, true);
+  quantize_group(in.data(), without.data(), 3, Precision::kFP16, false);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::isfinite(with[i]));
+    EXPECT_NEAR(with[i], in[i], std::fabs(in[i]) * 1e-3);
+  }
+  EXPECT_TRUE(std::isinf(without[0]));
+}
+
+TEST(QuantizeGroupTest, SmallMagnitudesKeepRelativePrecision) {
+  // A group of uniformly tiny values would hit FP16 subnormals unscaled;
+  // group scaling restores ~2^-11 relative accuracy.
+  Rng rng(5);
+  std::vector<double> in(50), out(50);
+  for (auto& v : in) v = rng.uniform(1e-9, 5e-9);
+  quantize_group(in.data(), out.data(), in.size(), Precision::kFP16, true);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_NEAR(out[i], in[i], in[i] * 2e-3) << i;
+  }
+}
+
+class RmseOrderingTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RmseOrderingTest, Table2Ordering) {
+  // RMSE(FP32) < RMSE(FP16 + group scaling) < RMSE(FP16 unscaled) — the
+  // qualitative ordering of the paper's Table 2.  The value distribution
+  // spans beyond the FP16 representable range (as raw ERI operands do),
+  // which is exactly where unscaled FP16 collapses.
+  Rng rng(GetParam());
+  std::vector<double> vals(4096);
+  for (auto& v : vals) {
+    v = rng.normal(0.0, 1.0) * rng.log_uniform(1e-6, 1e6);
+  }
+  const double e_fp32 = quantization_rmse(vals, Precision::kFP32, false);
+  const double e_q = quantization_rmse(vals, Precision::kFP16, true);
+  const double e_fp16 = quantization_rmse(vals, Precision::kFP16, false);
+  EXPECT_LT(e_fp32, e_q);
+  EXPECT_LT(e_q, e_fp16);
+  EXPECT_TRUE(std::isfinite(e_q));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RmseOrderingTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u));
+
+TEST(RmseTest, EmptyInputIsZero) {
+  EXPECT_DOUBLE_EQ(quantization_rmse({}, Precision::kFP16, true), 0.0);
+}
+
+TEST(RmseTest, Tf32BetweenFp32AndFp16) {
+  Rng rng(9);
+  std::vector<double> vals(2048);
+  for (auto& v : vals) v = rng.normal(0, 1.0);
+  const double e32 = quantization_rmse(vals, Precision::kFP32, true);
+  const double etf = quantization_rmse(vals, Precision::kTF32, true);
+  const double e16 = quantization_rmse(vals, Precision::kFP16, true);
+  EXPECT_LT(e32, etf);
+  EXPECT_LE(etf, e16 * 1.1);
+}
+
+}  // namespace
+}  // namespace mako

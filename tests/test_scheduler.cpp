@@ -1,0 +1,63 @@
+// Convergence-aware scheduler tests (Section 3.2.3 behaviour).
+#include <gtest/gtest.h>
+
+#include "quantmako/scheduler.hpp"
+
+namespace mako {
+namespace {
+
+TEST(SchedulerTest, EarlyIterationsFavorQuantization) {
+  ConvergenceAwareScheduler sched;
+  const IterationPolicy p = sched.policy_for_error(1.0);
+  EXPECT_TRUE(p.allow_quantized);
+  // Loose threshold: most quartets below it route to quantized kernels.
+  EXPECT_NEAR(p.fp64_threshold, sched.config().start_fp64_threshold, 1e-12);
+}
+
+TEST(SchedulerTest, ThresholdTightensMonotonically) {
+  ConvergenceAwareScheduler sched;
+  double prev = 1e9;
+  for (double err : {1.0, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5}) {
+    const IterationPolicy p = sched.policy_for_error(err);
+    EXPECT_LE(p.fp64_threshold, prev * (1.0 + 1e-12)) << "err=" << err;
+    prev = p.fp64_threshold;
+  }
+}
+
+TEST(SchedulerTest, ExactSwitchDisablesQuantization) {
+  ConvergenceAwareScheduler sched;
+  const IterationPolicy p =
+      sched.policy_for_error(sched.config().exact_switch_error / 2.0);
+  EXPECT_FALSE(p.allow_quantized);
+  EXPECT_DOUBLE_EQ(p.fp64_threshold, 0.0);
+}
+
+TEST(SchedulerTest, PruneThresholdStable) {
+  ConvergenceAwareScheduler sched;
+  for (double err : {1.0, 1e-3, 1e-8}) {
+    EXPECT_DOUBLE_EQ(sched.policy_for_error(err).prune_threshold,
+                     sched.config().prune_threshold);
+  }
+}
+
+TEST(SchedulerTest, CustomPrecisionPropagates) {
+  SchedulerConfig config;
+  config.quant_precision = Precision::kTF32;
+  ConvergenceAwareScheduler sched(config);
+  EXPECT_EQ(sched.policy_for_error(0.5).quant_precision, Precision::kTF32);
+}
+
+TEST(SchedulerTest, EndpointsRespectConfiguredRange) {
+  SchedulerConfig config;
+  config.start_fp64_threshold = 1e-2;
+  config.end_fp64_threshold = 1e-8;
+  config.exact_switch_error = 1e-7;
+  ConvergenceAwareScheduler sched(config);
+  EXPECT_NEAR(sched.policy_for_error(1.0).fp64_threshold, 1e-2, 1e-10);
+  const IterationPolicy late = sched.policy_for_error(2e-7);
+  EXPECT_LE(late.fp64_threshold, 1e-2);
+  EXPECT_GE(late.fp64_threshold, 1e-8 / 2.0);
+}
+
+}  // namespace
+}  // namespace mako

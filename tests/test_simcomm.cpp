@@ -1,0 +1,133 @@
+// Simulated communicator, cluster cost model, and partitioner tests — the
+// substrate of the Fig-10 scalability experiment.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "parallel/simcomm.hpp"
+#include "util/rng.hpp"
+
+namespace mako {
+namespace {
+
+TEST(SimCommTest, AllreduceSemantics) {
+  SimComm comm(4);
+  std::vector<MatrixD> bufs(4, MatrixD(2, 2, 0.0));
+  for (int r = 0; r < 4; ++r) bufs[r](0, 0) = r + 1.0;
+  comm.allreduce_sum(bufs);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(bufs[r](0, 0), 10.0);
+    EXPECT_DOUBLE_EQ(bufs[r](1, 1), 0.0);
+  }
+}
+
+TEST(SimCommTest, BroadcastSemantics) {
+  SimComm comm(3);
+  std::vector<MatrixD> bufs(3, MatrixD(1, 1, 0.0));
+  bufs[1](0, 0) = 42.0;
+  comm.broadcast(bufs, 1);
+  for (int r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(bufs[r](0, 0), 42.0);
+}
+
+TEST(SimCommTest, RejectsNonPositiveSize) {
+  EXPECT_THROW(SimComm(0), std::invalid_argument);
+}
+
+TEST(SimCommTest, AccumulatesModeledTime) {
+  SimComm comm(8);
+  std::vector<MatrixD> bufs(8, MatrixD(64, 64, 1.0));
+  EXPECT_DOUBLE_EQ(comm.modeled_comm_seconds(), 0.0);
+  comm.allreduce_sum(bufs);
+  EXPECT_GT(comm.modeled_comm_seconds(), 0.0);
+  comm.reset_comm_time();
+  EXPECT_DOUBLE_EQ(comm.modeled_comm_seconds(), 0.0);
+}
+
+TEST(ClusterModelTest, SingleRankIsFree) {
+  ClusterModel cluster;
+  EXPECT_DOUBLE_EQ(cluster.allreduce_seconds(1, 1 << 20), 0.0);
+  EXPECT_DOUBLE_EQ(cluster.broadcast_seconds(1, 1 << 20), 0.0);
+}
+
+TEST(ClusterModelTest, TimeGrowsWithBytes) {
+  ClusterModel cluster;
+  EXPECT_LT(cluster.allreduce_seconds(8, 1 << 10),
+            cluster.allreduce_seconds(8, 1 << 24));
+}
+
+TEST(ClusterModelTest, InternodeSlowerThanIntranode) {
+  ClusterModel cluster;
+  // 8 ranks fit one node (NVLink); 16 ranks span two (InfiniBand hops).
+  const std::size_t bytes = 64u << 20;
+  const double t8 = cluster.allreduce_seconds(8, bytes);
+  const double t16 = cluster.allreduce_seconds(16, bytes);
+  EXPECT_GT(t16, t8);
+}
+
+TEST(PartitionTest, RoundRobinCoversAllTasks) {
+  std::vector<double> costs(10, 1.0);
+  const Partition p = partition_round_robin(costs, 3);
+  std::size_t total = 0;
+  for (const auto& tasks : p.rank_tasks) total += tasks.size();
+  EXPECT_EQ(total, 10u);
+  EXPECT_DOUBLE_EQ(p.total_load(), 10.0);
+}
+
+TEST(PartitionTest, UniformCostsBalanceNearPerfectly) {
+  std::vector<double> costs(64, 2.0);
+  const Partition p = partition_round_robin(costs, 8);
+  EXPECT_DOUBLE_EQ(p.balance(), 1.0);
+  EXPECT_DOUBLE_EQ(p.max_load(), 16.0);
+}
+
+TEST(PartitionTest, LptBeatsRoundRobinOnSkewedCosts) {
+  Rng rng(5);
+  std::vector<double> costs(97);
+  for (auto& c : costs) c = rng.log_uniform(0.01, 10.0);
+  const Partition rr = partition_round_robin(costs, 8);
+  const Partition lpt = partition_lpt(costs, 8);
+  EXPECT_GE(lpt.balance(), rr.balance());
+  EXPECT_LE(lpt.max_load(), rr.max_load() + 1e-12);
+}
+
+TEST(PartitionTest, LptNearOptimalOnUniform) {
+  std::vector<double> costs(1000, 1.0);
+  const Partition p = partition_lpt(costs, 7);
+  EXPECT_GT(p.balance(), 0.99);
+}
+
+TEST(EfficiencyTest, PerfectBalanceNoCommIsUnitEfficiency) {
+  std::vector<double> costs(64, 1.0);
+  const Partition p = partition_lpt(costs, 8);
+  ClusterModel cluster;
+  EXPECT_NEAR(parallel_efficiency(p, 8, 0, cluster), 1.0, 1e-12);
+}
+
+TEST(EfficiencyTest, EfficiencyDecreasesWithRanks) {
+  // Fixed problem, growing machine: classic strong-scaling falloff.
+  Rng rng(11);
+  std::vector<double> costs(512);
+  for (auto& c : costs) c = rng.log_uniform(1e-4, 1e-2);
+  ClusterModel cluster;
+  const std::size_t fock_bytes = 8ull * 2000 * 2000;
+  double prev = 1.1;
+  for (int r : {1, 8, 64}) {
+    const Partition p = partition_lpt(costs, r);
+    const double eff = parallel_efficiency(p, r, fock_bytes, cluster);
+    EXPECT_LE(eff, prev + 1e-9);
+    EXPECT_GT(eff, 0.0);
+    prev = eff;
+  }
+}
+
+TEST(EfficiencyTest, BoundedByLoadBalance) {
+  std::vector<double> costs{10.0, 1.0, 1.0, 1.0};
+  const Partition p = partition_lpt(costs, 4);
+  ClusterModel cluster;
+  const double eff = parallel_efficiency(p, 4, 0, cluster);
+  EXPECT_NEAR(eff, p.balance(), 1e-12);
+  EXPECT_LT(eff, 0.5);  // dominated by the single big task
+}
+
+}  // namespace
+}  // namespace mako

@@ -1,0 +1,69 @@
+// Thread-pool / parallel_for tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace mako {
+namespace {
+
+TEST(ThreadPoolTest, CoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SingleElementRunsInline) {
+  ThreadPool pool(2);
+  std::size_t seen = 99;
+  pool.parallel_for(1, [&](std::size_t i) { seen = i; });
+  EXPECT_EQ(seen, 0u);
+}
+
+TEST(ThreadPoolTest, SerialFallbackWithZeroWorkers) {
+  ThreadPool pool(1);  // degrades to inline execution
+  EXPECT_EQ(pool.size(), 0u);
+  std::vector<int> order;
+  pool.parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
+  ThreadPool pool(3);
+  std::vector<double> values(5000);
+  std::iota(values.begin(), values.end(), 0.0);
+  std::atomic<long long> sum{0};
+  pool.parallel_for(values.size(), [&](std::size_t i) {
+    sum.fetch_add(static_cast<long long>(values[i]));
+  });
+  EXPECT_EQ(sum.load(), 5000LL * 4999 / 2);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(100, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPoolTest, GlobalPoolWorks) {
+  std::atomic<int> count{0};
+  parallel_for(64, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+}  // namespace
+}  // namespace mako

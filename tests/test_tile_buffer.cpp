@@ -1,0 +1,101 @@
+// Layout-swizzle tests: bijectivity of the Eq.-10 mapping and the
+// conflict-free transpose claim of Section 3.1.2.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "accel/tile_buffer.hpp"
+
+namespace mako {
+namespace {
+
+class SwizzleBijectivityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SwizzleBijectivityTest, MappingIsBijectivePerRow) {
+  const auto width = static_cast<std::size_t>(GetParam());
+  for (std::size_t y = 0; y < width; ++y) {
+    std::set<std::size_t> seen;
+    for (std::size_t x = 0; x < width; ++x) {
+      const std::size_t px = SwizzleMap::physical_x(x, y);
+      EXPECT_LT(px, width);  // domain preserved (condition 2 of Eq. 9)
+      seen.insert(px);
+    }
+    EXPECT_EQ(seen.size(), width);  // bijective (condition 1)
+  }
+}
+
+TEST_P(SwizzleBijectivityTest, MappingIsItsOwnInverse) {
+  const auto width = static_cast<std::size_t>(GetParam());
+  for (std::size_t y = 0; y < width; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const std::size_t px = SwizzleMap::physical_x(x, y);
+      EXPECT_EQ(SwizzleMap::logical_x(px, y), x);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerOfTwoWidths, SwizzleBijectivityTest,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+TEST(TileBufferTest, StoreLoadRoundTripNaive) {
+  TileBuffer<float> tile(32, 32, TileLayout::kNaive);
+  for (std::size_t y = 0; y < 32; ++y)
+    for (std::size_t x = 0; x < 32; ++x)
+      tile.store(x, y, static_cast<float>(y * 32 + x));
+  for (std::size_t y = 0; y < 32; ++y)
+    for (std::size_t x = 0; x < 32; ++x)
+      EXPECT_EQ(tile.load(x, y), static_cast<float>(y * 32 + x));
+}
+
+TEST(TileBufferTest, StoreLoadRoundTripSwizzled) {
+  TileBuffer<float> tile(32, 32, TileLayout::kSwizzle);
+  for (std::size_t y = 0; y < 32; ++y)
+    for (std::size_t x = 0; x < 32; ++x)
+      tile.store(x, y, static_cast<float>(1000 + y * 32 + x));
+  for (std::size_t y = 0; y < 32; ++y)
+    for (std::size_t x = 0; x < 32; ++x)
+      EXPECT_EQ(tile.load(x, y), static_cast<float>(1000 + y * 32 + x));
+}
+
+TEST(TileBufferTest, NaiveColumnAccessConflictsBadly) {
+  TileBuffer<float> tile(32, 32, TileLayout::kNaive);
+  // All 32 lanes of a column hit the same bank: 32-way serialization.
+  EXPECT_EQ(tile.column_access_transactions(0), 32);
+  EXPECT_EQ(tile.column_access_transactions(17), 32);
+}
+
+TEST(TileBufferTest, SwizzledColumnAccessConflictFree) {
+  TileBuffer<float> tile(32, 32, TileLayout::kSwizzle);
+  for (std::size_t col = 0; col < 32; ++col) {
+    EXPECT_EQ(tile.column_access_transactions(col), 1) << "col=" << col;
+  }
+}
+
+TEST(TileBufferTest, RowAccessConflictFreeInBothLayouts) {
+  TileBuffer<float> naive(32, 32, TileLayout::kNaive);
+  TileBuffer<float> swz(32, 32, TileLayout::kSwizzle);
+  for (std::size_t row = 0; row < 32; ++row) {
+    EXPECT_EQ(naive.row_access_transactions(row), 1);
+    EXPECT_EQ(swz.row_access_transactions(row), 1);
+  }
+}
+
+TEST(TileBufferTest, DoubleColumnAccessAtMostTwoWay) {
+  // 8-byte elements span two 4-byte banks; hardware serves FP64 shared
+  // loads in at most two transactions after swizzling.
+  TileBuffer<double> tile(32, 32, TileLayout::kSwizzle);
+  for (std::size_t col = 0; col < 32; ++col) {
+    EXPECT_LE(tile.column_access_transactions(col), 2) << "col=" << col;
+  }
+  TileBuffer<double> naive(32, 32, TileLayout::kNaive);
+  EXPECT_GE(naive.column_access_transactions(0), 16);
+}
+
+TEST(TileBufferTest, SameWordBroadcastsForFree) {
+  TileBuffer<float> tile(32, 32, TileLayout::kNaive);
+  std::vector<std::pair<std::size_t, std::size_t>> coords(32, {5, 5});
+  EXPECT_EQ(tile.warp_transactions(coords), 1);
+}
+
+}  // namespace
+}  // namespace mako

@@ -1,0 +1,177 @@
+// Exchange-correlation functional tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "basis/basis_set.hpp"
+#include "chem/builders.hpp"
+#include "scf/grid.hpp"
+#include "scf/xc.hpp"
+#include "util/rng.hpp"
+
+namespace mako {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(XcFunctionalTest, FromName) {
+  EXPECT_EQ(XcFunctional::from_name("hf").kind(), XcKind::kNone);
+  EXPECT_EQ(XcFunctional::from_name("lda").kind(), XcKind::kLDA);
+  EXPECT_EQ(XcFunctional::from_name("blyp").kind(), XcKind::kBLYP);
+  EXPECT_EQ(XcFunctional::from_name("b3lyp").kind(), XcKind::kB3LYP);
+  EXPECT_EQ(XcFunctional::from_name("B3LYP").kind(), XcKind::kB3LYP);
+  EXPECT_THROW(XcFunctional::from_name("pbe0-xyz"), std::invalid_argument);
+}
+
+TEST(XcFunctionalTest, ExactExchangeFractions) {
+  EXPECT_DOUBLE_EQ(XcFunctional(XcKind::kNone).exact_exchange(), 1.0);
+  EXPECT_DOUBLE_EQ(XcFunctional(XcKind::kLDA).exact_exchange(), 0.0);
+  EXPECT_DOUBLE_EQ(XcFunctional(XcKind::kBLYP).exact_exchange(), 0.0);
+  EXPECT_DOUBLE_EQ(XcFunctional(XcKind::kB3LYP).exact_exchange(), 0.20);
+}
+
+TEST(XcFunctionalTest, GradientRequirements) {
+  EXPECT_FALSE(XcFunctional(XcKind::kLDA).needs_gradient());
+  EXPECT_TRUE(XcFunctional(XcKind::kBLYP).needs_gradient());
+  EXPECT_TRUE(XcFunctional(XcKind::kB3LYP).needs_gradient());
+}
+
+TEST(XcFunctionalTest, SlaterExchangeAnalytic) {
+  // LDA exchange part: f_x = -(3/4)(3/pi)^{1/3} rho^{4/3} and
+  // v_x = (4/3) f_x / rho.  Subtract the VWN part using a correlation-free
+  // check: v_rho(LDA) - v_c must equal the Slater form.  Instead we verify
+  // the total LDA energy density at a reference rho against the closed form
+  // computed here independently.
+  const double rho = 0.8;
+  const XcPoint p = XcFunctional(XcKind::kLDA).eval(rho, 0.0);
+  const double cx = -0.75 * std::pow(3.0 / kPi, 1.0 / 3.0);
+  const double fx = cx * std::pow(rho, 4.0 / 3.0);
+  // VWN correlation adds a smaller negative amount.
+  EXPECT_LT(p.exc, fx);
+  EXPECT_GT(p.exc, fx * 1.2);  // correlation < 20% of exchange here
+}
+
+TEST(XcFunctionalTest, PotentialIsDerivativeOfEnergy) {
+  // Finite-difference consistency of v_rho and v_sigma for every GGA kind.
+  Rng rng(31);
+  for (XcKind kind : {XcKind::kLDA, XcKind::kBLYP, XcKind::kB3LYP}) {
+    const XcFunctional xc(kind);
+    for (int trial = 0; trial < 20; ++trial) {
+      const double rho = rng.log_uniform(1e-3, 10.0);
+      const double sigma = rng.log_uniform(1e-4, 10.0);
+      const XcPoint p = xc.eval(rho, sigma);
+      const double h = 1e-5 * rho;
+      const double fp = xc.eval(rho + h, sigma).exc;
+      const double fm = xc.eval(rho - h, sigma).exc;
+      EXPECT_NEAR(p.vrho, (fp - fm) / (2 * h),
+                  1e-3 * std::max(1.0, std::fabs(p.vrho)))
+          << "kind=" << static_cast<int>(kind) << " rho=" << rho;
+      if (xc.needs_gradient()) {
+        const double hs = 1e-5 * sigma;
+        const double gp = xc.eval(rho, sigma + hs).exc;
+        const double gm = xc.eval(rho, sigma - hs).exc;
+        EXPECT_NEAR(p.vsigma, (gp - gm) / (2 * hs),
+                    1e-3 * std::max(1e-6, std::fabs(p.vsigma)));
+      }
+    }
+  }
+}
+
+TEST(XcFunctionalTest, ExchangeEnergyNegativeAtPhysicalPoints) {
+  // Pointwise negativity holds in the physically relevant regime (gradients
+  // bounded by the density scale, as in molecular densities).
+  Rng rng(5);
+  for (XcKind kind : {XcKind::kLDA, XcKind::kBLYP, XcKind::kB3LYP}) {
+    const XcFunctional xc(kind);
+    for (int trial = 0; trial < 10; ++trial) {
+      const double rho = rng.log_uniform(1e-2, 5.0);
+      EXPECT_LT(xc.eval(rho, 0.0).exc, 0.0);
+      const double sigma = 0.2 * std::pow(rho, 8.0 / 3.0);
+      EXPECT_LT(xc.eval(rho, sigma).exc, 0.0)
+          << "kind=" << static_cast<int>(kind) << " rho=" << rho;
+    }
+  }
+}
+
+TEST(XcFunctionalTest, VanishingDensityIsZero) {
+  const XcPoint p = XcFunctional(XcKind::kB3LYP).eval(1e-14, 0.0);
+  EXPECT_DOUBLE_EQ(p.exc, 0.0);
+  EXPECT_DOUBLE_EQ(p.vrho, 0.0);
+}
+
+TEST(EvaluateAosTest, MatchesDirectGaussianForS) {
+  Molecule h;
+  h.add_atom(1, 0, 0, 0);
+  const BasisSet bs(h, "sto-3g");
+  GridPoint pt{{0.3, -0.2, 0.5}, 1.0};
+  MatrixD ao;
+  evaluate_aos(bs, &pt, 1, ao);
+  const Shell& s = bs.shells()[0];
+  const double r2 = 0.3 * 0.3 + 0.2 * 0.2 + 0.5 * 0.5;
+  double expect = 0.0;
+  for (int i = 0; i < s.nprim(); ++i) {
+    expect += s.coefficients[i] * std::exp(-s.exponents[i] * r2);
+  }
+  EXPECT_NEAR(ao(0, 0), expect, 1e-13);
+}
+
+TEST(EvaluateAosTest, GradientMatchesFiniteDifference) {
+  const Molecule w = make_water();
+  const BasisSet bs(w, "6-31g");
+  const Vec3 base{0.4, 0.1, -0.3};
+  const double h = 1e-6;
+
+  GridPoint pts[3] = {{base, 1.0},
+                      {{base[0] + h, base[1], base[2]}, 1.0},
+                      {{base[0] - h, base[1], base[2]}, 1.0}};
+  MatrixD ao, gx, gy, gz;
+  evaluate_aos(bs, pts, 3, ao, &gx, &gy, &gz);
+  for (std::size_t m = 0; m < bs.nbf(); ++m) {
+    const double fd = (ao(1, m) - ao(2, m)) / (2 * h);
+    EXPECT_NEAR(gx(0, m), fd, 1e-6 * std::max(1.0, std::fabs(fd))) << m;
+  }
+}
+
+TEST(IntegrateXcTest, DensityIntegratesToElectronCount) {
+  // With a converged-quality density (identity-occupied guess is enough for
+  // the check: use D from a quick HF run-free construction: D = 2 S^{-1}
+  // restricted to the right trace is overkill — instead integrate the exact
+  // density of doubly occupying normalized AOs).
+  Molecule h2;
+  h2.add_atom(1, 0, 0, 0);
+  h2.add_atom(1, 0, 0, 1.4);
+  const BasisSet bs(h2, "sto-3g");
+  // D = diag(1, 1): trace(D S) = 2 + 2*S12*0 = 2 electrons... with
+  // off-diagonal zero the integrated density is exactly trace(D) since each
+  // AO is normalized.
+  MatrixD d(2, 2, 0.0);
+  d(0, 0) = 1.0;
+  d(1, 1) = 1.0;
+  const MolecularGrid grid(h2, GridSpec::standard());
+  const XcResult res = integrate_xc(bs, grid, XcFunctional(XcKind::kLDA), d);
+  EXPECT_NEAR(res.n_electrons, 2.0, 2e-4);
+  EXPECT_LT(res.energy, 0.0);
+}
+
+TEST(IntegrateXcTest, VxcSymmetric) {
+  const Molecule w = make_water();
+  const BasisSet bs(w, "sto-3g");
+  MatrixD d(bs.nbf(), bs.nbf(), 0.0);
+  for (std::size_t i = 0; i < bs.nbf(); ++i) d(i, i) = 1.0;
+  const MolecularGrid grid(w, GridSpec::coarse());
+  const XcResult res = integrate_xc(bs, grid, XcFunctional(XcKind::kB3LYP), d);
+  EXPECT_LT(max_abs_diff(res.vxc, res.vxc.transposed()), 1e-12);
+}
+
+TEST(IntegrateXcTest, HfOnlySkipsEverything) {
+  const Molecule w = make_water();
+  const BasisSet bs(w, "sto-3g");
+  MatrixD d(bs.nbf(), bs.nbf(), 1.0);
+  const MolecularGrid grid(w, GridSpec::coarse());
+  const XcResult res = integrate_xc(bs, grid, XcFunctional(XcKind::kNone), d);
+  EXPECT_DOUBLE_EQ(res.energy, 0.0);
+  EXPECT_DOUBLE_EQ(frobenius_norm(res.vxc), 0.0);
+}
+
+}  // namespace
+}  // namespace mako
