@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mako_cli.dir/mako_cli.cpp.o"
+  "CMakeFiles/mako_cli.dir/mako_cli.cpp.o.d"
+  "mako"
+  "mako.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mako_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_scaling.cpp" "bench/CMakeFiles/bench_fig10_scaling.dir/bench_fig10_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_fig10_scaling.dir/bench_fig10_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mako_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scf/CMakeFiles/mako_scf.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantmako/CMakeFiles/mako_quantmako.dir/DependInfo.cmake"
+  "/root/repo/build/src/compilermako/CMakeFiles/mako_compilermako.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelmako/CMakeFiles/mako_kernelmako.dir/DependInfo.cmake"
+  "/root/repo/build/src/integrals/CMakeFiles/mako_integrals.dir/DependInfo.cmake"
+  "/root/repo/build/src/basis/CMakeFiles/mako_basis.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/mako_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/mako_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mako_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mako_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mako_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_end2end.dir/bench_fig8_end2end.cpp.o"
+  "CMakeFiles/bench_fig8_end2end.dir/bench_fig8_end2end.cpp.o.d"
+  "bench_fig8_end2end"
+  "bench_fig8_end2end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_end2end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

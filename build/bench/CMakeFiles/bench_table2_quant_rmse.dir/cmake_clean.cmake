@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_quant_rmse.dir/bench_table2_quant_rmse.cpp.o"
+  "CMakeFiles/bench_table2_quant_rmse.dir/bench_table2_quant_rmse.cpp.o.d"
+  "bench_table2_quant_rmse"
+  "bench_table2_quant_rmse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_quant_rmse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

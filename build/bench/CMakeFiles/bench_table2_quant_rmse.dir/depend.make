@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_quant_rmse.
+# This may be replaced when dependencies are built.

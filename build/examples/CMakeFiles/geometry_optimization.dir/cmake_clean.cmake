@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_optimization.dir/geometry_optimization.cpp.o"
+  "CMakeFiles/geometry_optimization.dir/geometry_optimization.cpp.o.d"
+  "geometry_optimization"
+  "geometry_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_tuning.dir/kernel_tuning.cpp.o"
+  "CMakeFiles/kernel_tuning.dir/kernel_tuning.cpp.o.d"
+  "kernel_tuning"
+  "kernel_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polyglycine_scan.dir/polyglycine_scan.cpp.o"
+  "CMakeFiles/polyglycine_scan.dir/polyglycine_scan.cpp.o.d"
+  "polyglycine_scan"
+  "polyglycine_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polyglycine_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for polyglycine_scan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for polyglycine_scan.
+# This may be replaced when dependencies are built.

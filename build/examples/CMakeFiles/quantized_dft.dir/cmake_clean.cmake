@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantized_dft.dir/quantized_dft.cpp.o"
+  "CMakeFiles/quantized_dft.dir/quantized_dft.cpp.o.d"
+  "quantized_dft"
+  "quantized_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantized_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("linalg")
+subdirs("parallel")
+subdirs("accel")
+subdirs("chem")
+subdirs("basis")
+subdirs("integrals")
+subdirs("kernelmako")
+subdirs("quantmako")
+subdirs("compilermako")
+subdirs("scf")
+subdirs("core")

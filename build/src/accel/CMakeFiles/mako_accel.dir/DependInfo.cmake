@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/device.cpp" "src/accel/CMakeFiles/mako_accel.dir/device.cpp.o" "gcc" "src/accel/CMakeFiles/mako_accel.dir/device.cpp.o.d"
+  "/root/repo/src/accel/tile_buffer.cpp" "src/accel/CMakeFiles/mako_accel.dir/tile_buffer.cpp.o" "gcc" "src/accel/CMakeFiles/mako_accel.dir/tile_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mako_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

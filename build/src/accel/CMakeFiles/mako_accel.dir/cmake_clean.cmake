@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mako_accel.dir/device.cpp.o"
+  "CMakeFiles/mako_accel.dir/device.cpp.o.d"
+  "CMakeFiles/mako_accel.dir/tile_buffer.cpp.o"
+  "CMakeFiles/mako_accel.dir/tile_buffer.cpp.o.d"
+  "libmako_accel.a"
+  "libmako_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mako_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/basis/basis_data.cpp" "src/basis/CMakeFiles/mako_basis.dir/basis_data.cpp.o" "gcc" "src/basis/CMakeFiles/mako_basis.dir/basis_data.cpp.o.d"
+  "/root/repo/src/basis/basis_set.cpp" "src/basis/CMakeFiles/mako_basis.dir/basis_set.cpp.o" "gcc" "src/basis/CMakeFiles/mako_basis.dir/basis_set.cpp.o.d"
+  "/root/repo/src/basis/even_tempered.cpp" "src/basis/CMakeFiles/mako_basis.dir/even_tempered.cpp.o" "gcc" "src/basis/CMakeFiles/mako_basis.dir/even_tempered.cpp.o.d"
+  "/root/repo/src/basis/spherical.cpp" "src/basis/CMakeFiles/mako_basis.dir/spherical.cpp.o" "gcc" "src/basis/CMakeFiles/mako_basis.dir/spherical.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/mako_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/mako_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mako_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mako_basis.dir/basis_data.cpp.o"
+  "CMakeFiles/mako_basis.dir/basis_data.cpp.o.d"
+  "CMakeFiles/mako_basis.dir/basis_set.cpp.o"
+  "CMakeFiles/mako_basis.dir/basis_set.cpp.o.d"
+  "CMakeFiles/mako_basis.dir/even_tempered.cpp.o"
+  "CMakeFiles/mako_basis.dir/even_tempered.cpp.o.d"
+  "CMakeFiles/mako_basis.dir/spherical.cpp.o"
+  "CMakeFiles/mako_basis.dir/spherical.cpp.o.d"
+  "libmako_basis.a"
+  "libmako_basis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mako_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

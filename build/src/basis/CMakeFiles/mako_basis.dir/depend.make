@@ -1,0 +1,2 @@
+# Empty dependencies file for mako_basis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chem/builders.cpp" "src/chem/CMakeFiles/mako_chem.dir/builders.cpp.o" "gcc" "src/chem/CMakeFiles/mako_chem.dir/builders.cpp.o.d"
+  "/root/repo/src/chem/dataset.cpp" "src/chem/CMakeFiles/mako_chem.dir/dataset.cpp.o" "gcc" "src/chem/CMakeFiles/mako_chem.dir/dataset.cpp.o.d"
+  "/root/repo/src/chem/elements.cpp" "src/chem/CMakeFiles/mako_chem.dir/elements.cpp.o" "gcc" "src/chem/CMakeFiles/mako_chem.dir/elements.cpp.o.d"
+  "/root/repo/src/chem/molecule.cpp" "src/chem/CMakeFiles/mako_chem.dir/molecule.cpp.o" "gcc" "src/chem/CMakeFiles/mako_chem.dir/molecule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mako_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mako_chem.dir/builders.cpp.o"
+  "CMakeFiles/mako_chem.dir/builders.cpp.o.d"
+  "CMakeFiles/mako_chem.dir/dataset.cpp.o"
+  "CMakeFiles/mako_chem.dir/dataset.cpp.o.d"
+  "CMakeFiles/mako_chem.dir/elements.cpp.o"
+  "CMakeFiles/mako_chem.dir/elements.cpp.o.d"
+  "CMakeFiles/mako_chem.dir/molecule.cpp.o"
+  "CMakeFiles/mako_chem.dir/molecule.cpp.o.d"
+  "libmako_chem.a"
+  "libmako_chem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mako_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmako_chem.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mako_compilermako.dir/autotuner.cpp.o"
+  "CMakeFiles/mako_compilermako.dir/autotuner.cpp.o.d"
+  "CMakeFiles/mako_compilermako.dir/fusion_planner.cpp.o"
+  "CMakeFiles/mako_compilermako.dir/fusion_planner.cpp.o.d"
+  "CMakeFiles/mako_compilermako.dir/registry.cpp.o"
+  "CMakeFiles/mako_compilermako.dir/registry.cpp.o.d"
+  "libmako_compilermako.a"
+  "libmako_compilermako.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mako_compilermako.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mako_core.dir/mako.cpp.o"
+  "CMakeFiles/mako_core.dir/mako.cpp.o.d"
+  "libmako_core.a"
+  "libmako_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mako_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

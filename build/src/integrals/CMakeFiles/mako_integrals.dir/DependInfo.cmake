@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/integrals/boys.cpp" "src/integrals/CMakeFiles/mako_integrals.dir/boys.cpp.o" "gcc" "src/integrals/CMakeFiles/mako_integrals.dir/boys.cpp.o.d"
+  "/root/repo/src/integrals/derivatives.cpp" "src/integrals/CMakeFiles/mako_integrals.dir/derivatives.cpp.o" "gcc" "src/integrals/CMakeFiles/mako_integrals.dir/derivatives.cpp.o.d"
+  "/root/repo/src/integrals/eri_reference.cpp" "src/integrals/CMakeFiles/mako_integrals.dir/eri_reference.cpp.o" "gcc" "src/integrals/CMakeFiles/mako_integrals.dir/eri_reference.cpp.o.d"
+  "/root/repo/src/integrals/hermite.cpp" "src/integrals/CMakeFiles/mako_integrals.dir/hermite.cpp.o" "gcc" "src/integrals/CMakeFiles/mako_integrals.dir/hermite.cpp.o.d"
+  "/root/repo/src/integrals/one_electron.cpp" "src/integrals/CMakeFiles/mako_integrals.dir/one_electron.cpp.o" "gcc" "src/integrals/CMakeFiles/mako_integrals.dir/one_electron.cpp.o.d"
+  "/root/repo/src/integrals/schwarz.cpp" "src/integrals/CMakeFiles/mako_integrals.dir/schwarz.cpp.o" "gcc" "src/integrals/CMakeFiles/mako_integrals.dir/schwarz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/basis/CMakeFiles/mako_basis.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mako_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/mako_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mako_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

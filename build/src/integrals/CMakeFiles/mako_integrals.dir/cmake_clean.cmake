@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mako_integrals.dir/boys.cpp.o"
+  "CMakeFiles/mako_integrals.dir/boys.cpp.o.d"
+  "CMakeFiles/mako_integrals.dir/derivatives.cpp.o"
+  "CMakeFiles/mako_integrals.dir/derivatives.cpp.o.d"
+  "CMakeFiles/mako_integrals.dir/eri_reference.cpp.o"
+  "CMakeFiles/mako_integrals.dir/eri_reference.cpp.o.d"
+  "CMakeFiles/mako_integrals.dir/hermite.cpp.o"
+  "CMakeFiles/mako_integrals.dir/hermite.cpp.o.d"
+  "CMakeFiles/mako_integrals.dir/one_electron.cpp.o"
+  "CMakeFiles/mako_integrals.dir/one_electron.cpp.o.d"
+  "CMakeFiles/mako_integrals.dir/schwarz.cpp.o"
+  "CMakeFiles/mako_integrals.dir/schwarz.cpp.o.d"
+  "libmako_integrals.a"
+  "libmako_integrals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mako_integrals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

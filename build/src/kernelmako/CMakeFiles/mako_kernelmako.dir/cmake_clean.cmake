@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mako_kernelmako.dir/batched_eri.cpp.o"
+  "CMakeFiles/mako_kernelmako.dir/batched_eri.cpp.o.d"
+  "CMakeFiles/mako_kernelmako.dir/eri_class.cpp.o"
+  "CMakeFiles/mako_kernelmako.dir/eri_class.cpp.o.d"
+  "libmako_kernelmako.a"
+  "libmako_kernelmako.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mako_kernelmako.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

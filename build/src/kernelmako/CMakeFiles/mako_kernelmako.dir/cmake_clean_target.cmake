@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmako_kernelmako.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mako_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/mako_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/mako_linalg.dir/gemm.cpp.o"
+  "CMakeFiles/mako_linalg.dir/gemm.cpp.o.d"
+  "CMakeFiles/mako_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/mako_linalg.dir/matrix.cpp.o.d"
+  "libmako_linalg.a"
+  "libmako_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mako_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mako_parallel.dir/simcomm.cpp.o"
+  "CMakeFiles/mako_parallel.dir/simcomm.cpp.o.d"
+  "CMakeFiles/mako_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/mako_parallel.dir/thread_pool.cpp.o.d"
+  "libmako_parallel.a"
+  "libmako_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mako_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mako_quantmako.dir/quantizer.cpp.o"
+  "CMakeFiles/mako_quantmako.dir/quantizer.cpp.o.d"
+  "CMakeFiles/mako_quantmako.dir/scheduler.cpp.o"
+  "CMakeFiles/mako_quantmako.dir/scheduler.cpp.o.d"
+  "libmako_quantmako.a"
+  "libmako_quantmako.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mako_quantmako.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

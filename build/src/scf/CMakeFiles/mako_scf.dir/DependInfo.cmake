@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scf/diis.cpp" "src/scf/CMakeFiles/mako_scf.dir/diis.cpp.o" "gcc" "src/scf/CMakeFiles/mako_scf.dir/diis.cpp.o.d"
+  "/root/repo/src/scf/fock.cpp" "src/scf/CMakeFiles/mako_scf.dir/fock.cpp.o" "gcc" "src/scf/CMakeFiles/mako_scf.dir/fock.cpp.o.d"
+  "/root/repo/src/scf/gradient.cpp" "src/scf/CMakeFiles/mako_scf.dir/gradient.cpp.o" "gcc" "src/scf/CMakeFiles/mako_scf.dir/gradient.cpp.o.d"
+  "/root/repo/src/scf/grid.cpp" "src/scf/CMakeFiles/mako_scf.dir/grid.cpp.o" "gcc" "src/scf/CMakeFiles/mako_scf.dir/grid.cpp.o.d"
+  "/root/repo/src/scf/scf.cpp" "src/scf/CMakeFiles/mako_scf.dir/scf.cpp.o" "gcc" "src/scf/CMakeFiles/mako_scf.dir/scf.cpp.o.d"
+  "/root/repo/src/scf/xc.cpp" "src/scf/CMakeFiles/mako_scf.dir/xc.cpp.o" "gcc" "src/scf/CMakeFiles/mako_scf.dir/xc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/integrals/CMakeFiles/mako_integrals.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelmako/CMakeFiles/mako_kernelmako.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantmako/CMakeFiles/mako_quantmako.dir/DependInfo.cmake"
+  "/root/repo/build/src/compilermako/CMakeFiles/mako_compilermako.dir/DependInfo.cmake"
+  "/root/repo/build/src/basis/CMakeFiles/mako_basis.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mako_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/mako_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/mako_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mako_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

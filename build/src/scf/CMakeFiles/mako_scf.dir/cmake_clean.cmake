@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mako_scf.dir/diis.cpp.o"
+  "CMakeFiles/mako_scf.dir/diis.cpp.o.d"
+  "CMakeFiles/mako_scf.dir/fock.cpp.o"
+  "CMakeFiles/mako_scf.dir/fock.cpp.o.d"
+  "CMakeFiles/mako_scf.dir/gradient.cpp.o"
+  "CMakeFiles/mako_scf.dir/gradient.cpp.o.d"
+  "CMakeFiles/mako_scf.dir/grid.cpp.o"
+  "CMakeFiles/mako_scf.dir/grid.cpp.o.d"
+  "CMakeFiles/mako_scf.dir/scf.cpp.o"
+  "CMakeFiles/mako_scf.dir/scf.cpp.o.d"
+  "CMakeFiles/mako_scf.dir/xc.cpp.o"
+  "CMakeFiles/mako_scf.dir/xc.cpp.o.d"
+  "libmako_scf.a"
+  "libmako_scf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mako_scf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mako_util.dir/log.cpp.o"
+  "CMakeFiles/mako_util.dir/log.cpp.o.d"
+  "CMakeFiles/mako_util.dir/precision.cpp.o"
+  "CMakeFiles/mako_util.dir/precision.cpp.o.d"
+  "CMakeFiles/mako_util.dir/rng.cpp.o"
+  "CMakeFiles/mako_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mako_util.dir/timer.cpp.o"
+  "CMakeFiles/mako_util.dir/timer.cpp.o.d"
+  "libmako_util.a"
+  "libmako_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mako_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autotuner.dir/test_autotuner.cpp.o"
+  "CMakeFiles/test_autotuner.dir/test_autotuner.cpp.o.d"
+  "test_autotuner"
+  "test_autotuner.pdb"
+  "test_autotuner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autotuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batched_eri.dir/test_batched_eri.cpp.o"
+  "CMakeFiles/test_batched_eri.dir/test_batched_eri.cpp.o.d"
+  "test_batched_eri"
+  "test_batched_eri.pdb"
+  "test_batched_eri[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batched_eri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

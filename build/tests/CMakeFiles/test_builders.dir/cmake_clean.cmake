@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_builders.dir/test_builders.cpp.o"
+  "CMakeFiles/test_builders.dir/test_builders.cpp.o.d"
+  "test_builders"
+  "test_builders.pdb"
+  "test_builders[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_builders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

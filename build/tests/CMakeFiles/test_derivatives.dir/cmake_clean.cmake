@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_derivatives.dir/test_derivatives.cpp.o"
+  "CMakeFiles/test_derivatives.dir/test_derivatives.cpp.o.d"
+  "test_derivatives"
+  "test_derivatives.pdb"
+  "test_derivatives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_derivatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_derivatives.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diis.dir/test_diis.cpp.o"
+  "CMakeFiles/test_diis.dir/test_diis.cpp.o.d"
+  "test_diis"
+  "test_diis.pdb"
+  "test_diis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

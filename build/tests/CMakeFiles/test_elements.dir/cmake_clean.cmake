@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elements.dir/test_elements.cpp.o"
+  "CMakeFiles/test_elements.dir/test_elements.cpp.o.d"
+  "test_elements"
+  "test_elements.pdb"
+  "test_elements[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eri_reference.dir/test_eri_reference.cpp.o"
+  "CMakeFiles/test_eri_reference.dir/test_eri_reference.cpp.o.d"
+  "test_eri_reference"
+  "test_eri_reference.pdb"
+  "test_eri_reference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eri_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

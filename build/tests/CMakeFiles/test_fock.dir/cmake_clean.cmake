@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fock.dir/test_fock.cpp.o"
+  "CMakeFiles/test_fock.dir/test_fock.cpp.o.d"
+  "test_fock"
+  "test_fock.pdb"
+  "test_fock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fusion_planner.dir/test_fusion_planner.cpp.o"
+  "CMakeFiles/test_fusion_planner.dir/test_fusion_planner.cpp.o.d"
+  "test_fusion_planner"
+  "test_fusion_planner.pdb"
+  "test_fusion_planner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fusion_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

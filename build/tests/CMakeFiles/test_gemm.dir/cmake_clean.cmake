@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gemm.dir/test_gemm.cpp.o"
+  "CMakeFiles/test_gemm.dir/test_gemm.cpp.o.d"
+  "test_gemm"
+  "test_gemm.pdb"
+  "test_gemm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hermite.dir/test_hermite.cpp.o"
+  "CMakeFiles/test_hermite.dir/test_hermite.cpp.o.d"
+  "test_hermite"
+  "test_hermite.pdb"
+  "test_hermite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hermite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

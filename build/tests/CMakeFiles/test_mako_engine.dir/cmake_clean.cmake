@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mako_engine.dir/test_mako_engine.cpp.o"
+  "CMakeFiles/test_mako_engine.dir/test_mako_engine.cpp.o.d"
+  "test_mako_engine"
+  "test_mako_engine.pdb"
+  "test_mako_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mako_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantizer.dir/test_quantizer.cpp.o"
+  "CMakeFiles/test_quantizer.dir/test_quantizer.cpp.o.d"
+  "test_quantizer"
+  "test_quantizer.pdb"
+  "test_quantizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

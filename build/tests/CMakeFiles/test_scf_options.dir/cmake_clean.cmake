@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scf_options.dir/test_scf_options.cpp.o"
+  "CMakeFiles/test_scf_options.dir/test_scf_options.cpp.o.d"
+  "test_scf_options"
+  "test_scf_options.pdb"
+  "test_scf_options[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scf_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simcomm.dir/test_simcomm.cpp.o"
+  "CMakeFiles/test_simcomm.dir/test_simcomm.cpp.o.d"
+  "test_simcomm"
+  "test_simcomm.pdb"
+  "test_simcomm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simcomm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spherical.dir/test_spherical.cpp.o"
+  "CMakeFiles/test_spherical.dir/test_spherical.cpp.o.d"
+  "test_spherical"
+  "test_spherical.pdb"
+  "test_spherical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spherical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tile_buffer.dir/test_tile_buffer.cpp.o"
+  "CMakeFiles/test_tile_buffer.dir/test_tile_buffer.cpp.o.d"
+  "test_tile_buffer"
+  "test_tile_buffer.pdb"
+  "test_tile_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tile_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xc.dir/test_xc.cpp.o"
+  "CMakeFiles/test_xc.dir/test_xc.cpp.o.d"
+  "test_xc"
+  "test_xc.pdb"
+  "test_xc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
