@@ -6,8 +6,13 @@
 // The paper reports average speedups of 2.67x / 2.34x / 3.11x on A100; the
 // host build must reproduce the *shape*: Mako ahead everywhere, with the
 // advantage growing with angular momentum.
+//
+// `--json=PATH` additionally writes the records as a JSON document (consumed
+// by bench/run_benchmarks.sh to produce BENCH_fig6.json).
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "compilermako/autotuner.hpp"
@@ -27,8 +32,17 @@ std::size_t quartets_for_class(const EriClassKey& key) {
 }
 
 struct Row {
+  std::string name;
+  int kab = 0;
+  int kcd = 0;
   double mako_qps = 0.0;
   double ref_qps = 0.0;
+};
+
+struct Group {
+  std::string label;
+  std::vector<Row> rows;
+  double geo_mean = 0.0;
 };
 
 Row run_class(const EriClassKey& key) {
@@ -36,6 +50,9 @@ Row run_class(const EriClassKey& key) {
   const CalibrationBatch batch = make_calibration_batch(key, nq, 17);
 
   Row row;
+  row.name = key.name();
+  row.kab = key.kab;
+  row.kcd = key.kcd;
   // Mako batched engine (default KernelMako config, FP64).
   {
     BatchedEriEngine engine;
@@ -60,31 +77,70 @@ Row run_class(const EriClassKey& key) {
   return row;
 }
 
-void run_contraction(const char* label, int kab, int kcd, int max_l) {
+Group run_contraction(const char* label, int kab, int kcd, int max_l) {
+  Group group;
+  group.label = label;
   std::printf("\ncontraction degrees %s\n", label);
   std::printf("%-18s %16s %16s %9s\n", "ERI class", "Mako [quartet/s]",
               "ref  [quartet/s]", "speedup");
   double geo = 1.0;
-  int count = 0;
   for (int l = 0; l <= max_l; ++l) {
     const EriClassKey key{l, l, l, l, kab, kcd};
-    const Row row = run_class(key);
-    std::printf("%-18s %16.0f %16.0f %8.2fx\n", key.name().c_str(),
+    Row row = run_class(key);
+    std::printf("%-18s %16.0f %16.0f %8.2fx\n", row.name.c_str(),
                 row.mako_qps, row.ref_qps, row.mako_qps / row.ref_qps);
     geo *= row.mako_qps / row.ref_qps;
-    ++count;
+    group.rows.push_back(std::move(row));
   }
-  std::printf("geometric-mean speedup: %.2fx\n",
-              std::pow(geo, 1.0 / count));
+  group.geo_mean =
+      std::pow(geo, 1.0 / static_cast<double>(group.rows.size()));
+  std::printf("geometric-mean speedup: %.2fx\n", group.geo_mean);
+  return group;
+}
+
+void write_json(const char* path, const std::vector<Group>& groups) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"figure\": \"fig6\",\n  \"metric\": "
+                  "\"shell quartets per second\",\n  \"groups\": [\n");
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const Group& group = groups[g];
+    std::fprintf(f, "    {\n      \"contraction\": \"%s\",\n"
+                    "      \"geo_mean_speedup\": %.4f,\n      \"rows\": [\n",
+                 group.label.c_str(), group.geo_mean);
+    for (std::size_t r = 0; r < group.rows.size(); ++r) {
+      const Row& row = group.rows[r];
+      std::fprintf(
+          f,
+          "        {\"class\": \"%s\", \"kab\": %d, \"kcd\": %d, "
+          "\"mako_qps\": %.1f, \"ref_qps\": %.1f, \"speedup\": %.4f}%s\n",
+          row.name.c_str(), row.kab, row.kcd, row.mako_qps, row.ref_qps,
+          row.mako_qps / row.ref_qps, r + 1 < group.rows.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n    }%s\n", g + 1 < groups.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
   std::printf("[Figure 6] FP64 ERI kernels: Mako vs per-quartet reference "
               "(shell quartets per second)\n");
-  run_contraction("{1,1}", 1, 1, 4);   // up to (gg|gg)
-  run_contraction("{1,5}", 1, 5, 3);   // up to (ff|ff)
-  run_contraction("{5,5}", 5, 5, 2);   // up to (dd|dd)
+  std::vector<Group> groups;
+  groups.push_back(run_contraction("{1,1}", 1, 1, 4));  // up to (gg|gg)
+  groups.push_back(run_contraction("{1,5}", 1, 5, 3));  // up to (ff|ff)
+  groups.push_back(run_contraction("{5,5}", 5, 5, 2));  // up to (dd|dd)
+
+  if (json_path != nullptr) write_json(json_path, groups);
   return 0;
 }

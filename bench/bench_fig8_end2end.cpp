@@ -6,8 +6,13 @@
 // iteration time excluding the first iteration, exactly as the paper
 // measures.  The expected shape: Mako faster everywhere, with the margin
 // widening on the higher-angular-momentum basis.
+//
+// Usage: bench_fig8_end2end [max_size] [--json=PATH]
+// `--json=PATH` additionally writes the records as a JSON document (consumed
+// by bench/run_benchmarks.sh to produce BENCH_fig8.json).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -17,6 +22,15 @@
 
 namespace {
 using namespace mako;
+
+struct Record {
+  std::string system;
+  std::string basis;
+  std::size_t atoms = 0;
+  std::size_t nbf = 0;
+  double t_ref = 0.0;
+  double t_mako = 0.0;
+};
 
 double avg_iteration_seconds(const Molecule& mol, const std::string& basis,
                              EriEngineKind engine, int iterations) {
@@ -28,16 +42,43 @@ double avg_iteration_seconds(const Molecule& mol, const std::string& basis,
   return r.avg_iteration_seconds();
 }
 
-void run_system(const char* name, const Molecule& mol,
-                const std::string& basis) {
+Record run_system(const char* name, const Molecule& mol,
+                  const std::string& basis) {
   const BasisSet bs(mol, basis);
-  const double t_ref =
-      avg_iteration_seconds(mol, basis, EriEngineKind::kReference, 2);
-  const double t_mako =
-      avg_iteration_seconds(mol, basis, EriEngineKind::kMako, 2);
+  Record rec;
+  rec.system = name;
+  rec.basis = basis;
+  rec.atoms = mol.size();
+  rec.nbf = bs.nbf();
+  rec.t_ref = avg_iteration_seconds(mol, basis, EriEngineKind::kReference, 2);
+  rec.t_mako = avg_iteration_seconds(mol, basis, EriEngineKind::kMako, 2);
   std::printf("%-14s %-10s %6zu %6zu %13.3f %13.3f %8.2fx\n", name,
-              basis.c_str(), mol.size(), bs.nbf(), t_ref, t_mako,
-              t_ref / t_mako);
+              basis.c_str(), rec.atoms, rec.nbf, rec.t_ref, rec.t_mako,
+              rec.t_ref / rec.t_mako);
+  return rec;
+}
+
+void write_json(const char* path, const std::vector<Record>& records) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"figure\": \"fig8\",\n  \"metric\": "
+                  "\"average SCF iteration seconds (excluding first)\",\n"
+                  "  \"systems\": [\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(
+        f,
+        "    {\"system\": \"%s\", \"basis\": \"%s\", \"atoms\": %zu, "
+        "\"nbf\": %zu, \"t_ref_s\": %.6f, \"t_mako_s\": %.6f, "
+        "\"speedup\": %.4f}%s\n",
+        r.system.c_str(), r.basis.c_str(), r.atoms, r.nbf, r.t_ref, r.t_mako,
+        r.t_ref / r.t_mako, i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
 }
 
 }  // namespace
@@ -45,32 +86,45 @@ void run_system(const char* name, const Molecule& mol,
 int main(int argc, char** argv) {
   // Default sizes fit a single-core budget; pass a larger argument to sweep
   // bigger systems (cost grows as the fourth power of system size).
-  const int max_water = (argc > 1) ? std::atoi(argv[1]) : 2;
-  const int max_gly = (argc > 1) ? std::atoi(argv[1]) : 1;
+  int max_size = 0;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      max_size = std::atoi(argv[i]);
+    }
+  }
+  const int max_water = max_size > 0 ? max_size : 2;
+  const int max_gly = max_size > 0 ? max_size : 1;
 
   std::printf("[Figure 8] End-to-end average SCF iteration time "
               "(excluding the first iteration)\n");
   std::printf("%-14s %-10s %6s %6s %13s %13s %8s\n", "system", "basis",
               "atoms", "nbf", "t[ref] s", "t[mako] s", "speedup");
 
+  std::vector<Record> records;
+
   // Linear systems: polyglycine chains.
   for (int n = 1; n <= max_gly; ++n) {
     const Molecule gly = make_polyglycine(n);
     const std::string name = "(gly)_" + std::to_string(n);
-    run_system(name.c_str(), gly, "def2-tzvp");
+    records.push_back(run_system(name.c_str(), gly, "def2-tzvp"));
   }
 
   // Globular systems: water clusters.
   for (int n = 1; n <= max_water; ++n) {
     const Molecule w = make_water_cluster(n, 7);
     const std::string name = "water_" + std::to_string(n);
-    run_system(name.c_str(), w, "def2-tzvp");
+    records.push_back(run_system(name.c_str(), w, "def2-tzvp"));
   }
 
   // Higher angular momentum: def2-QZVP on the smallest systems.
-  run_system("water_1", make_water(), "def2-qzvp");
+  records.push_back(run_system("water_1", make_water(), "def2-qzvp"));
 
   std::printf("\npaper shape: Mako leads throughout, and the margin grows "
               "from TZVP to QZVP as g-function GEMMs dominate.\n");
+
+  if (json_path != nullptr) write_json(json_path, records);
   return 0;
 }

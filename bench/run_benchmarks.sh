@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs the paper-figure benchmarks and records their results as JSON.
+#
+#   BUILD_DIR  build tree containing the bench binaries   (default: build)
+#   OUT_DIR    where BENCH_fig6.json / BENCH_fig8.json go (default: bench)
+#   FIG8_SIZE  system-size sweep argument for fig8        (default: 2)
+#
+# The script (re)builds the two bench targets, runs them, and writes
+# BENCH_fig6.json and BENCH_fig8.json into OUT_DIR.  Human-readable tables
+# still go to stdout.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${OUT_DIR:-bench}"
+FIG8_SIZE="${FIG8_SIZE:-2}"
+
+if [ ! -d "${BUILD_DIR}" ]; then
+  cmake -B "${BUILD_DIR}" -S .
+fi
+cmake --build "${BUILD_DIR}" -j --target bench_fig6_eri_micro bench_fig8_end2end
+
+mkdir -p "${OUT_DIR}"
+
+echo "== Figure 6: ERI kernel microbenchmark =="
+"${BUILD_DIR}/bench/bench_fig6_eri_micro" "--json=${OUT_DIR}/BENCH_fig6.json"
+
+echo
+echo "== Figure 8: end-to-end SCF iteration time =="
+"${BUILD_DIR}/bench/bench_fig8_end2end" "${FIG8_SIZE}" \
+  "--json=${OUT_DIR}/BENCH_fig8.json"
+
+echo
+echo "wrote ${OUT_DIR}/BENCH_fig6.json and ${OUT_DIR}/BENCH_fig8.json"

@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "kernelmako/class_plan.hpp"
+
 namespace mako {
 
 std::vector<PairClass> enumerate_pair_classes(const BasisSet& basis) {
@@ -32,6 +34,14 @@ std::vector<EriClassKey> enumerate_eri_classes(const BasisSet& basis) {
     }
   }
   return {classes.begin(), classes.end()};
+}
+
+std::size_t prewarm_class_plans(const BasisSet& basis) {
+  const std::vector<EriClassKey> classes = enumerate_eri_classes(basis);
+  for (const EriClassKey& key : classes) {
+    (void)EriClassPlan::get(key);
+  }
+  return classes.size();
 }
 
 }  // namespace mako

@@ -34,9 +34,10 @@ const HermiteBasis& HermiteBasis::get(int l) {
   return it->second;
 }
 
-Hermite1D::Hermite1D(int imax, int jmax, double xpa, double xpb, double p,
-                     double e00)
-    : imax_(imax), jmax_(jmax) {
+void Hermite1D::reset(int imax, int jmax, double xpa, double xpb, double p,
+                      double e00) {
+  imax_ = imax;
+  jmax_ = jmax;
   const int tdim = imax + jmax + 1;
   data_.assign((imax + 1) * (jmax + 1) * tdim, 0.0);
   const double inv2p = 0.5 / p;
@@ -70,14 +71,10 @@ Hermite1D::Hermite1D(int imax, int jmax, double xpa, double xpb, double p,
   }
 }
 
-std::vector<PrimPair> make_prim_pairs(const Vec3& a_center,
-                                      const std::vector<double>& a_exps,
-                                      const std::vector<double>& a_coefs,
-                                      const Vec3& b_center,
-                                      const std::vector<double>& b_exps,
-                                      const std::vector<double>& b_coefs) {
-  std::vector<PrimPair> pairs;
-  pairs.reserve(a_exps.size() * b_exps.size());
+void make_prim_pairs(const Vec3& a_center, const std::vector<double>& a_exps,
+                     const std::vector<double>& a_coefs, const Vec3& b_center,
+                     const std::vector<double>& b_exps,
+                     const std::vector<double>& b_coefs, PrimPair* out) {
   const double ab2 = distance(a_center, b_center) * distance(a_center, b_center);
   for (std::size_t i = 0; i < a_exps.size(); ++i) {
     for (std::size_t j = 0; j < b_exps.size(); ++j) {
@@ -92,9 +89,20 @@ std::vector<PrimPair> make_prim_pairs(const Vec3& a_center,
             (pp.alpha * a_center[ax] + pp.beta * b_center[ax]) / pp.p;
       }
       pp.coef = a_coefs[i] * b_coefs[j];
-      pairs.push_back(pp);
+      *out++ = pp;
     }
   }
+}
+
+std::vector<PrimPair> make_prim_pairs(const Vec3& a_center,
+                                      const std::vector<double>& a_exps,
+                                      const std::vector<double>& a_coefs,
+                                      const Vec3& b_center,
+                                      const std::vector<double>& b_exps,
+                                      const std::vector<double>& b_coefs) {
+  std::vector<PrimPair> pairs(a_exps.size() * b_exps.size());
+  make_prim_pairs(a_center, a_exps, a_coefs, b_center, b_exps, b_coefs,
+                  pairs.data());
   return pairs;
 }
 
@@ -116,12 +124,13 @@ void build_e_matrix(int la, int lb, const Vec3& a, const Vec3& b, double alpha,
   const double mu = alpha * beta / p;
 
   // Per-axis 1D tables; the exponential prefactor factorizes across axes.
-  std::vector<Hermite1D> e1d;
-  e1d.reserve(3);
+  // Thread-local instances are rebuilt in place (storage reused), keeping the
+  // batched engine's steady-state hot path allocation-free.
+  static thread_local Hermite1D e1d[3];
   for (int ax = 0; ax < 3; ++ax) {
     const double xab = a[ax] - b[ax];
-    e1d.emplace_back(la, lb, pc[ax] - a[ax], pc[ax] - b[ax], p,
-                     std::exp(-mu * xab * xab));
+    e1d[ax].reset(la, lb, pc[ax] - a[ax], pc[ax] - b[ax], p,
+                  std::exp(-mu * xab * xab));
   }
 
   for (int ia = 0; ia < ncart(la); ++ia) {
@@ -158,7 +167,9 @@ void compute_r_integrals(int l_total, double alpha, const Vec3& pq,
 
   // r[m * nh + idx] = R^{(m)}_{tuv}; fill orders n = t+u+v ascending with the
   // recursion R^{(m)}_{t+1,u,v} = t R^{(m+1)}_{t-1,u,v} + PQ_x R^{(m+1)}_{t,u,v}.
-  std::vector<double> r(static_cast<std::size_t>(l_total + 1) * nh, 0.0);
+  // Thread-local so the per-primitive-pair hot loop does not allocate.
+  static thread_local std::vector<double> r;
+  r.assign(static_cast<std::size_t>(l_total + 1) * nh, 0.0);
   double pow_m = 1.0;
   for (int m = 0; m <= l_total; ++m) {
     r[static_cast<std::size_t>(m) * nh + 0] = pow_m * fm[m];

@@ -50,9 +50,17 @@ class HermiteBasis {
 /// in E_0^{00}.  Valid ranges: 0 <= i <= imax, 0 <= j <= jmax, 0 <= t <= i+j.
 class Hermite1D {
  public:
+  Hermite1D() = default;
+
   /// xpa = P - A (this axis), xpb = P - B, p = alpha + beta,
   /// e00 = exp(-alpha*beta/p * X_AB^2) for this axis.
-  Hermite1D(int imax, int jmax, double xpa, double xpb, double p, double e00);
+  Hermite1D(int imax, int jmax, double xpa, double xpb, double p, double e00) {
+    reset(imax, jmax, xpa, xpb, p, e00);
+  }
+
+  /// Rebuilds the table in place, reusing the existing storage — the batched
+  /// engine cycles one instance per axis through every primitive pair.
+  void reset(int imax, int jmax, double xpa, double xpb, double p, double e00);
 
   [[nodiscard]] double operator()(int i, int j, int t) const noexcept {
     if (t < 0 || t > i + j) return 0.0;
@@ -60,8 +68,8 @@ class Hermite1D {
   }
 
  private:
-  int imax_;
-  int jmax_;
+  int imax_ = 0;
+  int jmax_ = 0;
   std::vector<double> data_;
 };
 
@@ -82,6 +90,13 @@ std::vector<PrimPair> make_prim_pairs(const Vec3& a_center,
                                       const Vec3& b_center,
                                       const std::vector<double>& b_exps,
                                       const std::vector<double>& b_coefs);
+
+/// Allocation-free variant: writes the nprim(a)*nprim(b) pairs to `out`,
+/// which must have room for them.  Used by the batched engine's scratch arena.
+void make_prim_pairs(const Vec3& a_center, const std::vector<double>& a_exps,
+                     const std::vector<double>& a_coefs, const Vec3& b_center,
+                     const std::vector<double>& b_exps,
+                     const std::vector<double>& b_coefs, PrimPair* out);
 
 /// Builds the Hermite->Cartesian transformation matrix E for one primitive
 /// pair of shells (la, lb): shape [nherm(la+lb) x ncart(la)*ncart(lb)],

@@ -1,5 +1,6 @@
 #include "kernelmako/batched_eri.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -90,141 +91,179 @@ EriClassKey BatchedEriEngine::classify(const QuartetRef& q) {
 BatchStats BatchedEriEngine::compute_batch(
     const EriClassKey& key, std::span<const QuartetRef> batch,
     std::vector<std::vector<double>>& out) const {
+  static thread_local EriScratch scratch;
+  return compute_batch(EriClassPlan::get(key), batch, out, scratch);
+}
+
+BatchStats BatchedEriEngine::compute_batch(
+    const EriClassPlan& plan, std::span<const QuartetRef> batch,
+    std::vector<std::vector<double>>& out, EriScratch& scratch) const {
   Timer timer;
   BatchStats stats;
+  const EriClassKey& key = plan.key();
   const std::size_t nq = batch.size();
   out.resize(nq);
   if (nq == 0) return stats;
 
-  const int nhb = key.nherm_bra();
-  const int nhk = key.nherm_ket();
-  const int ncb = key.ncart_bra();
-  const int nck = key.ncart_ket();
-  const int ltot = key.ltot();
-  const HermiteBasis& hb_ab = HermiteBasis::get(key.lab());
-  const HermiteBasis& hb_cd = HermiteBasis::get(key.lcd());
-  const HermiteBasis& hb_tot = HermiteBasis::get(ltot);
-  const int nht = hb_tot.size();
+  const int nhb = plan.nhb;
+  const int nhk = plan.nhk;
+  const int ncb = plan.ncb;
+  const int nck = plan.nck;
+  const int nht = plan.nht;
+  const int ltot = plan.ltot;
+  const std::size_t kab = static_cast<std::size_t>(key.kab);
+  const std::size_t kcd = static_cast<std::size_t>(key.kcd);
 
-  // Class-static tables (CompilerMako would bake these into the kernel).
-  std::vector<double> sign_cd(nhk);
-  for (int h = 0; h < nhk; ++h) {
-    const auto& q = hb_cd.component(h);
-    sign_cd[h] = ((q[0] + q[1] + q[2]) % 2 == 0) ? 1.0 : -1.0;
-  }
-  std::vector<int> combined(static_cast<std::size_t>(nhb) * nhk);
-  for (int hp = 0; hp < nhb; ++hp) {
-    const auto& p = hb_ab.component(hp);
-    for (int hq = 0; hq < nhk; ++hq) {
-      const auto& q = hb_cd.component(hq);
-      combined[static_cast<std::size_t>(hp) * nhk + hq] =
-          hb_tot.index(p[0] + q[0], p[1] + q[1], p[2] + q[2]);
+  // --- Per-quartet primitive pairs and E operands into the arena ------------
+  const std::size_t e_bra_sz = static_cast<std::size_t>(nhb) * ncb;
+  const std::size_t e_ket_sz = static_cast<std::size_t>(nhk) * nck;
+  scratch.bra_pairs.resize(nq * kab);
+  scratch.ket_pairs.resize(nq * kcd);
+  scratch.bra_e.resize(nq * kab * e_bra_sz);
+  scratch.ket_e.resize(nq * kcd * e_ket_sz);
+  for (std::size_t q = 0; q < nq; ++q) {
+    const QuartetRef& ref = batch[q];
+    if (ref.a->l != key.la || ref.b->l != key.lb || ref.c->l != key.lc ||
+        ref.d->l != key.ld) {
+      throw std::invalid_argument("compute_batch: heterogeneous batch");
+    }
+    if (ref.a->nprim() * ref.b->nprim() != key.kab ||
+        ref.c->nprim() * ref.d->nprim() != key.kcd) {
+      throw std::invalid_argument(
+          "compute_batch: contraction degree mismatch with class key");
+    }
+    make_prim_pairs(ref.a->center, ref.a->exponents, ref.a->coefficients,
+                    ref.b->center, ref.b->exponents, ref.b->coefficients,
+                    scratch.bra_pairs.data() + q * kab);
+    make_prim_pairs(ref.c->center, ref.c->exponents, ref.c->coefficients,
+                    ref.d->center, ref.d->exponents, ref.d->coefficients,
+                    scratch.ket_pairs.data() + q * kcd);
+    for (std::size_t jp = 0; jp < kab; ++jp) {
+      const PrimPair& pp = scratch.bra_pairs[q * kab + jp];
+      // E_AB stays in its natural [nhb x ncb] layout; GEMM1 consumes it
+      // through the packed kernel's native transpose (no copies).
+      build_e_matrix(key.la, key.lb, ref.a->center, ref.b->center, pp.alpha,
+                     pp.beta, pp.coef, scratch.e_tmp);
+      std::copy(scratch.e_tmp.data(), scratch.e_tmp.data() + e_bra_sz,
+                scratch.bra_e.data() + (q * kab + jp) * e_bra_sz);
+    }
+    for (std::size_t kp = 0; kp < kcd; ++kp) {
+      const PrimPair& pp = scratch.ket_pairs[q * kcd + kp];
+      build_e_matrix(key.lc, key.ld, ref.c->center, ref.d->center, pp.alpha,
+                     pp.beta, pp.coef, scratch.e_tmp);
+      std::copy(scratch.e_tmp.data(), scratch.e_tmp.data() + e_ket_sz,
+                scratch.ket_e.data() + (q * kcd + kp) * e_ket_sz);
     }
   }
 
-  // --- Precompute per-quartet primitive pairs and E operands ---------------
-  std::vector<std::vector<PrimPair>> bra_pairs(nq), ket_pairs(nq);
-  // braET[q * kab + jp]: (ncb x nhb); ketE[q * kcd + kp]: (nhk x nck).
-  std::vector<MatrixD> bra_et(nq * key.kab), ket_e(nq * key.kcd);
-  {
-    MatrixD scratch;
-    for (std::size_t q = 0; q < nq; ++q) {
-      const QuartetRef& ref = batch[q];
-      if (ref.a->l != key.la || ref.b->l != key.lb || ref.c->l != key.lc ||
-          ref.d->l != key.ld) {
-        throw std::invalid_argument("compute_batch: heterogeneous batch");
-      }
-      bra_pairs[q] =
-          make_prim_pairs(ref.a->center, ref.a->exponents, ref.a->coefficients,
-                          ref.b->center, ref.b->exponents, ref.b->coefficients);
-      ket_pairs[q] =
-          make_prim_pairs(ref.c->center, ref.c->exponents, ref.c->coefficients,
-                          ref.d->center, ref.d->exponents, ref.d->coefficients);
-      if (static_cast<int>(bra_pairs[q].size()) != key.kab ||
-          static_cast<int>(ket_pairs[q].size()) != key.kcd) {
-        throw std::invalid_argument(
-            "compute_batch: contraction degree mismatch with class key");
-      }
-      for (int jp = 0; jp < key.kab; ++jp) {
-        const PrimPair& pp = bra_pairs[q][jp];
-        build_e_matrix(key.la, key.lb, ref.a->center, ref.b->center, pp.alpha,
-                       pp.beta, pp.coef, scratch);
-        bra_et[q * key.kab + jp] = scratch.transposed();
-      }
-      for (int kp = 0; kp < key.kcd; ++kp) {
-        const PrimPair& pp = ket_pairs[q][kp];
-        build_e_matrix(key.lc, key.ld, ref.c->center, ref.d->center, pp.alpha,
-                       pp.beta, pp.coef, ket_e[q * key.kcd + kp]);
-      }
-    }
-  }
-
-  // --- Group scaling for quantized execution (Section 3.2.1) ---------------
+  // --- Group scaling for quantized execution (Section 3.2.1) ----------------
   // Scales are per class & per operand group; dequantization happens at the
   // FP32->FP64 widening of each GEMM (dual-stage accumulation).
   const bool quant = config_.quantized();
   double s_bra = 1.0, s_ket = 1.0;
   if (quant && config_.group_scaling) {
-    double m_bra = 0.0, m_ket = 0.0;
-    for (const auto& m : bra_et) m_bra = std::max(m_bra, max_abs(m.data(), m.size()));
-    for (const auto& m : ket_e) m_ket = std::max(m_ket, max_abs(m.data(), m.size()));
+    const double m_bra = max_abs(scratch.bra_e.data(), scratch.bra_e.size());
+    const double m_ket = max_abs(scratch.ket_e.data(), scratch.ket_e.size());
     if (m_bra > 0.0) s_bra = 1.0 / m_bra;
     if (m_ket > 0.0) s_ket = 1.0 / m_ket;
-    for (auto& m : bra_et) m *= s_bra;
-    for (auto& m : ket_e) m *= s_ket;
+    for (double& v : scratch.bra_e) v *= s_bra;
+    for (double& v : scratch.ket_e) v *= s_ket;
   }
-
-  // --- Working buffers ------------------------------------------------------
-  std::vector<double> r_striped(static_cast<std::size_t>(nht) * nq);
-  std::vector<double> r_blocked(r_striped.size());
-  std::vector<double> r_tmp(nht);
-  std::vector<double> abq(nq * static_cast<std::size_t>(ncb) * nhk, 0.0);
-  std::vector<double> cart(nq * static_cast<std::size_t>(ncb) * nck, 0.0);
-  std::vector<double> pq_one(static_cast<std::size_t>(nhb) * nhk);
-  // Unfused mode stages every quartet's [p~|q~] through "global memory".
-  std::vector<double> pq_all;
-  const bool fully_fused =
-      config_.fuse_gemms && key.kab == 1 && key.kcd == 1;
-  const bool stage_pq_globally = !config_.fuse_gemms;
-  if (stage_pq_globally) pq_all.resize(nq * pq_one.size());
 
   const GemmConfig& gc = config_.gemm;
   const bool naive_fp16 = quant && gc.precision == Precision::kFP16 &&
                           !config_.dual_stage_accumulation;
-  auto run_gemm = [&](const double* a, const double* b, double* c, int m,
-                      int n, int k, double alpha, double beta) {
-    if (naive_fp16) {
-      gemm_fp16_naive(a, b, c, m, n, k, alpha, beta);
-    } else if (quant) {
-      gemm_quantized(a, b, c, m, n, k, alpha, beta, gc);
-    } else {
-      gemm_fp64(a, b, c, m, n, k, alpha, beta, gc);
-    }
-    stats.gemm_flops += gemm_flops(m, n, k);
-  };
 
+  // --- Quantized-operand cache ----------------------------------------------
+  // The E operands are invariant across the batch: round them to the kernel
+  // precision once here, instead of once per GEMM call inside the loops.
+  const bool use_qcache = quant && !naive_fp16;
+  if (use_qcache) {
+    scratch.q_bra.resize(scratch.bra_e.size());
+    scratch.q_ket.resize(scratch.ket_e.size());
+    quantize_to_float(scratch.bra_e.data(), scratch.q_bra.data(),
+                      scratch.bra_e.size(), gc.precision);
+    quantize_to_float(scratch.ket_e.data(), scratch.q_ket.data(),
+                      scratch.ket_e.size(), gc.precision);
+    scratch.q_dyn.resize(std::max(static_cast<std::size_t>(nhb) * nhk,
+                                  static_cast<std::size_t>(ncb) * nhk));
+  }
+
+  // --- Working buffers (arena-backed; no steady-state allocation) -----------
   const std::size_t abq_stride = static_cast<std::size_t>(ncb) * nhk;
   const std::size_t cart_stride = static_cast<std::size_t>(ncb) * nck;
+  scratch.r_striped.resize(static_cast<std::size_t>(nht) * nq);
+  scratch.r_blocked.resize(scratch.r_striped.size());
+  scratch.r_tmp.resize(nht);
+  scratch.abq.resize(nq * abq_stride);
+  scratch.cart.assign(nq * cart_stride, 0.0);
+  scratch.pq_one.resize(static_cast<std::size_t>(nhb) * nhk);
+  // Unfused mode stages every quartet's [p~|q~] through "global memory".
+  const bool fully_fused =
+      config_.fuse_gemms && key.kab == 1 && key.kcd == 1;
+  const bool stage_pq_globally = !config_.fuse_gemms;
+  if (stage_pq_globally) scratch.pq_all.resize(nq * scratch.pq_one.size());
 
-  for (int kp = 0; kp < key.kcd; ++kp) {
-    if (key.kcd > 1 || kp == 0) {
-      std::fill(abq.begin(), abq.end(), 0.0);
+  // GEMM1 dispatch: C[ncb x nhk] += alpha * E_AB^T x [p~|q~].  The bra
+  // operand enters through the native transpose; the quantized route reads
+  // the batch-persistent operand cache.
+  auto run_gemm1 = [&](std::size_t q, std::size_t jp, const double* pq,
+                       double* c, double alpha) {
+    const double* ea = scratch.bra_e.data() + (q * kab + jp) * e_bra_sz;
+    if (naive_fp16) {
+      gemm_fp16_naive(ea, pq, c, ncb, nhk, nhb, alpha, 1.0, /*trans_a=*/true);
+    } else if (quant) {
+      quantize_to_float(pq, scratch.q_dyn.data(),
+                        static_cast<std::size_t>(nhb) * nhk, gc.precision);
+      gemm_quantized_ops(scratch.q_bra.data() + (q * kab + jp) * e_bra_sz,
+                         /*trans_a=*/true, scratch.q_dyn.data(), false, c, ncb,
+                         nhk, nhb, alpha, 1.0, gc);
+    } else {
+      gemm_fp64_ex(ea, /*trans_a=*/true, pq, false, c, ncb, nhk, nhb, alpha,
+                   1.0, gc);
     }
-    for (int jp = 0; jp < key.kab; ++jp) {
+    stats.gemm_flops += gemm_flops(ncb, nhk, nhb);
+  };
+
+  // GEMM2 dispatch: C[ncb x nck] += alpha * (ab|q~] x E_CD.
+  auto run_gemm2 = [&](std::size_t q, std::size_t kp, const double* abq_slice,
+                       double* c, double alpha) {
+    const double* ek = scratch.ket_e.data() + (q * kcd + kp) * e_ket_sz;
+    if (naive_fp16) {
+      gemm_fp16_naive(abq_slice, ek, c, ncb, nck, nhk, alpha, 1.0);
+    } else if (quant) {
+      quantize_to_float(abq_slice, scratch.q_dyn.data(), abq_stride,
+                        gc.precision);
+      gemm_quantized_ops(scratch.q_dyn.data(), false,
+                         scratch.q_ket.data() + (q * kcd + kp) * e_ket_sz,
+                         false, c, ncb, nck, nhk, alpha, 1.0, gc);
+    } else {
+      gemm_fp64_ex(abq_slice, false, ek, false, c, ncb, nck, nhk, alpha, 1.0,
+                   gc);
+    }
+    stats.gemm_flops += gemm_flops(ncb, nck, nhk);
+  };
+
+  for (std::size_t kp = 0; kp < kcd; ++kp) {
+    // (ab|q~] accumulates bra primitive pairs for this ket pair only.
+    std::fill(scratch.abq.begin(), scratch.abq.end(), 0.0);
+    for (std::size_t jp = 0; jp < kab; ++jp) {
       // Stage 1: r-integrals, produced striped (quartet-fastest), the order
       // a quartet-per-thread kernel writes coalesced.
       for (std::size_t q = 0; q < nq; ++q) {
-        const PrimPair& bra = bra_pairs[q][jp];
-        const PrimPair& ket = ket_pairs[q][kp];
+        const PrimPair& bra = scratch.bra_pairs[q * kab + jp];
+        const PrimPair& ket = scratch.ket_pairs[q * kcd + kp];
         const double denom = bra.p * ket.p * std::sqrt(bra.p + ket.p);
         const double pref = 2.0 * std::pow(kPi, 2.5) / denom;
         const double alpha_rq = bra.p * ket.p / (bra.p + ket.p);
         const Vec3 pq_vec{bra.center[0] - ket.center[0],
                           bra.center[1] - ket.center[1],
                           bra.center[2] - ket.center[2]};
-        compute_r_integrals(ltot, alpha_rq, pq_vec, pref, r_tmp.data());
+        compute_r_integrals(ltot, alpha_rq, pq_vec, pref,
+                            scratch.r_tmp.data());
         for (int h = 0; h < nht; ++h) {
-          r_striped[static_cast<std::size_t>(h) * nq + q] = r_tmp[h];
+          scratch.r_striped[static_cast<std::size_t>(h) * nq + q] =
+              scratch.r_tmp[h];
         }
       }
       stats.scalar_flops += static_cast<double>(nq) * nht * (ltot + 2) * 4.0;
@@ -233,8 +272,8 @@ BatchStats BatchedEriEngine::compute_batch(
 
       // Stage 2: layout conversion (swizzled in-SMEM transpose vs explicit
       // global transpose — the latter costs an extra kernel + traffic).
-      striped_to_blocked(r_striped.data(), r_blocked.data(), nht, nq,
-                         config_.use_swizzle);
+      striped_to_blocked(scratch.r_striped.data(), scratch.r_blocked.data(),
+                         nht, nq, config_.use_swizzle);
       if (!config_.use_swizzle) {
         stats.global_bytes += 16.0 * nq * nht;
         stats.kernel_launches += 1;
@@ -243,7 +282,8 @@ BatchStats BatchedEriEngine::compute_batch(
       // Quantized pq scale for this primitive-pair slice.
       double s_pq = 1.0;
       if (quant && config_.group_scaling) {
-        const double m = max_abs(r_blocked.data(), r_blocked.size());
+        const double m =
+            max_abs(scratch.r_blocked.data(), scratch.r_blocked.size());
         if (m > 0.0) s_pq = 1.0 / m;
       }
       const double dequant = 1.0 / (s_pq * s_bra);
@@ -252,41 +292,41 @@ BatchStats BatchedEriEngine::compute_batch(
       if (stage_pq_globally) {
         // Unfused: one kernel writes all [p~|q~] to global memory...
         for (std::size_t q = 0; q < nq; ++q) {
-          assemble_pq(r_blocked.data() + q * nht, combined.data(),
-                      sign_cd.data(), nhb, nhk, s_pq,
-                      pq_all.data() + q * pq_one.size());
+          assemble_pq(scratch.r_blocked.data() + q * nht, plan.combined.data(),
+                      plan.sign_cd.data(), nhb, nhk, s_pq,
+                      scratch.pq_all.data() + q * scratch.pq_one.size());
         }
-        stats.global_bytes += 2.0 * static_cast<double>(bytes_per_element(gc.precision)) *
-            nq * pq_one.size();
+        stats.global_bytes +=
+            2.0 * static_cast<double>(bytes_per_element(gc.precision)) * nq *
+            scratch.pq_one.size();
         stats.kernel_launches += 1;
         // ... and a second kernel runs the batched GEMM over them.
         for (std::size_t q = 0; q < nq; ++q) {
-          run_gemm(bra_et[q * key.kab + jp].data(),
-                   pq_all.data() + q * pq_one.size(),
-                   abq.data() + q * abq_stride, ncb, nhk, nhb,
-                   quant ? dequant : 1.0, 1.0);
+          run_gemm1(q, jp, scratch.pq_all.data() + q * scratch.pq_one.size(),
+                    scratch.abq.data() + q * abq_stride,
+                    quant ? dequant : 1.0);
         }
         stats.kernel_launches += 1;
       } else {
         // Fused: assembly feeds the GEMM while the tile is hot.
         for (std::size_t q = 0; q < nq; ++q) {
-          assemble_pq(r_blocked.data() + q * nht, combined.data(),
-                      sign_cd.data(), nhb, nhk, s_pq, pq_one.data());
-          run_gemm(bra_et[q * key.kab + jp].data(), pq_one.data(),
-                   abq.data() + q * abq_stride, ncb, nhk, nhb,
-                   quant ? dequant : 1.0, 1.0);
+          assemble_pq(scratch.r_blocked.data() + q * nht, plan.combined.data(),
+                      plan.sign_cd.data(), nhb, nhk, s_pq,
+                      scratch.pq_one.data());
+          run_gemm1(q, jp, scratch.pq_one.data(),
+                    scratch.abq.data() + q * abq_stride,
+                    quant ? dequant : 1.0);
           if (fully_fused) {
             // GEMM coalescing (Eq. 11): consume (ab|q~] immediately.
-            double* slice = abq.data() + q * abq_stride;
+            double* slice = scratch.abq.data() + q * abq_stride;
             double s_abq = 1.0;
             if (quant && config_.group_scaling) {
               const double m = max_abs(slice, abq_stride);
               if (m > 0.0) s_abq = 1.0 / m;
               for (std::size_t i = 0; i < abq_stride; ++i) slice[i] *= s_abq;
             }
-            run_gemm(slice, ket_e[q * key.kcd + kp].data(),
-                     cart.data() + q * cart_stride, ncb, nck, nhk,
-                     quant ? 1.0 / (s_ket * s_abq) : 1.0, 1.0);
+            run_gemm2(q, kp, slice, scratch.cart.data() + q * cart_stride,
+                      quant ? 1.0 / (s_ket * s_abq) : 1.0);
           }
         }
         stats.kernel_launches += 1;
@@ -298,14 +338,14 @@ BatchStats BatchedEriEngine::compute_batch(
     if (!fully_fused) {
       double s_abq = 1.0;
       if (quant && config_.group_scaling) {
-        const double m = max_abs(abq.data(), abq.size());
+        const double m = max_abs(scratch.abq.data(), scratch.abq.size());
         if (m > 0.0) s_abq = 1.0 / m;
-        for (double& v : abq) v *= s_abq;
+        for (double& v : scratch.abq) v *= s_abq;
       }
       for (std::size_t q = 0; q < nq; ++q) {
-        run_gemm(abq.data() + q * abq_stride, ket_e[q * key.kcd + kp].data(),
-                 cart.data() + q * cart_stride, ncb, nck, nhk,
-                 quant ? 1.0 / (s_ket * s_abq) : 1.0, 1.0);
+        run_gemm2(q, kp, scratch.abq.data() + q * abq_stride,
+                  scratch.cart.data() + q * cart_stride,
+                  quant ? 1.0 / (s_ket * s_abq) : 1.0);
       }
       stats.global_bytes += static_cast<double>(quant ? 4 : 8) * nq *
                              (abq_stride + cart_stride);
@@ -313,18 +353,18 @@ BatchStats BatchedEriEngine::compute_batch(
     }
   }
 
-  // Stage 5: Cartesian -> spherical, two batched GEMMs.
-  const MatrixD& kab_sph = cart_to_sph_pair(key.la, key.lb);
-  const MatrixD kcd_sph_t = cart_to_sph_pair(key.lc, key.ld).transposed();
-  const int nsb = key.nsph_bra();
-  const int nsk = key.nsph_ket();
-  std::vector<double> tmp(static_cast<std::size_t>(nsb) * nck);
+  // Stage 5: Cartesian -> spherical, two batched GEMMs.  The transform
+  // matrices come from the class plan; the ket side runs through the native
+  // transpose instead of a materialized copy.
+  const int nsb = plan.nsb;
+  const int nsk = plan.nsk;
+  scratch.sph_tmp.resize(static_cast<std::size_t>(nsb) * nck);
   for (std::size_t q = 0; q < nq; ++q) {
     out[q].assign(static_cast<std::size_t>(nsb) * nsk, 0.0);
-    gemm_fp64(kab_sph.data(), cart.data() + q * cart_stride, tmp.data(), nsb,
-              nck, ncb, 1.0, 0.0, gc);
-    gemm_fp64(tmp.data(), kcd_sph_t.data(), out[q].data(), nsb, nsk, nck, 1.0,
-              0.0, gc);
+    gemm_fp64(plan.sph_bra->data(), scratch.cart.data() + q * cart_stride,
+              scratch.sph_tmp.data(), nsb, nck, ncb, 1.0, 0.0, gc);
+    gemm_fp64_ex(scratch.sph_tmp.data(), false, plan.sph_ket->data(),
+                 /*trans_b=*/true, out[q].data(), nsb, nsk, nck, 1.0, 0.0, gc);
     stats.gemm_flops += gemm_flops(nsb, nck, ncb) + gemm_flops(nsb, nsk, nck);
   }
   stats.kernel_launches += 2;

@@ -28,6 +28,7 @@
 
 #include "accel/device.hpp"
 #include "basis/basis_set.hpp"
+#include "kernelmako/class_plan.hpp"
 #include "kernelmako/eri_class.hpp"
 #include "linalg/gemm.hpp"
 
@@ -85,9 +86,19 @@ class BatchedEriEngine {
   /// out is resized to batch.size(); out[i] is row-major
   /// [nsph(la)][nsph(lb)][nsph(lc)][nsph(ld)].
   /// Returns execution statistics.
+  ///
+  /// Resolves the class plan from the process-wide cache and executes on a
+  /// thread-local scratch arena — steady-state calls are allocation-free.
   BatchStats compute_batch(const EriClassKey& key,
                            std::span<const QuartetRef> batch,
                            std::vector<std::vector<double>>& out) const;
+
+  /// Plan-explicit variant: executes against a pre-resolved class plan and a
+  /// caller-owned scratch arena (one per thread).
+  BatchStats compute_batch(const EriClassPlan& plan,
+                           std::span<const QuartetRef> batch,
+                           std::vector<std::vector<double>>& out,
+                           EriScratch& scratch) const;
 
   /// Derives the class key of a quartet (contraction degrees included).
   static EriClassKey classify(const QuartetRef& q);

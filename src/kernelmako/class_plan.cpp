@@ -1,0 +1,70 @@
+#include "kernelmako/class_plan.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "basis/spherical.hpp"
+
+namespace mako {
+
+EriClassPlan::EriClassPlan(const EriClassKey& key) : key_(key) {
+  nhb = key.nherm_bra();
+  nhk = key.nherm_ket();
+  nht = nherm(key.ltot());
+  ncb = key.ncart_bra();
+  nck = key.ncart_ket();
+  nsb = key.nsph_bra();
+  nsk = key.nsph_ket();
+  ltot = key.ltot();
+
+  const HermiteBasis& hb_ab = HermiteBasis::get(key.lab());
+  const HermiteBasis& hb_cd = HermiteBasis::get(key.lcd());
+  const HermiteBasis& hb_tot = HermiteBasis::get(key.ltot());
+
+  sign_cd.resize(nhk);
+  for (int h = 0; h < nhk; ++h) {
+    const auto& q = hb_cd.component(h);
+    sign_cd[h] = ((q[0] + q[1] + q[2]) % 2 == 0) ? 1.0 : -1.0;
+  }
+  combined.resize(static_cast<std::size_t>(nhb) * nhk);
+  for (int hp = 0; hp < nhb; ++hp) {
+    const auto& p = hb_ab.component(hp);
+    for (int hq = 0; hq < nhk; ++hq) {
+      const auto& q = hb_cd.component(hq);
+      combined[static_cast<std::size_t>(hp) * nhk + hq] =
+          hb_tot.index(p[0] + q[0], p[1] + q[1], p[2] + q[2]);
+    }
+  }
+
+  sph_bra = &cart_to_sph_pair(key.la, key.lb);
+  sph_ket = &cart_to_sph_pair(key.lc, key.ld);
+}
+
+namespace {
+std::mutex& plan_mutex() {
+  static std::mutex m;
+  return m;
+}
+std::map<EriClassKey, std::unique_ptr<EriClassPlan>>& plan_cache() {
+  static std::map<EriClassKey, std::unique_ptr<EriClassPlan>> cache;
+  return cache;
+}
+}  // namespace
+
+const EriClassPlan& EriClassPlan::get(const EriClassKey& key) {
+  std::lock_guard<std::mutex> lock(plan_mutex());
+  auto& cache = plan_cache();
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::make_unique<EriClassPlan>(key)).first;
+  }
+  return *it->second;
+}
+
+std::size_t EriClassPlan::cache_size() {
+  std::lock_guard<std::mutex> lock(plan_mutex());
+  return plan_cache().size();
+}
+
+}  // namespace mako

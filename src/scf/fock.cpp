@@ -4,7 +4,9 @@
 #include <cmath>
 #include <map>
 
+#include "compilermako/registry.hpp"
 #include "integrals/eri_reference.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace mako {
@@ -73,7 +75,13 @@ struct PendingQuartet {
 }  // namespace
 
 FockBuilder::FockBuilder(const BasisSet& basis, FockOptions options)
-    : basis_(basis), options_(options), schwarz_(schwarz_bounds(basis)) {}
+    : basis_(basis), options_(options), schwarz_(schwarz_bounds(basis)) {
+  // CompilerMako static planning: warm the class-plan registry up front so
+  // the first Fock build's hot path starts with every class plan resolved.
+  if (options_.engine == EriEngineKind::kMako) {
+    prewarm_class_plans(basis);
+  }
+}
 
 FockStats FockBuilder::build_jk(const MatrixD& density,
                                 const IterationPolicy& policy, MatrixD& j,
@@ -81,10 +89,9 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
   FockStats stats;
   const auto& shells = basis_.shells();
   const std::size_t ns = shells.size();
+  // Matrix::resize value-initializes every element, so no explicit fill.
   j.resize(basis_.nbf(), basis_.nbf(), 0.0);
   k.resize(basis_.nbf(), basis_.nbf(), 0.0);
-  j.fill(0.0);
-  k.fill(0.0);
 
   // Per-shell-pair density maxima for density-weighted screening.
   MatrixD dmax(ns, ns, 0.0);
@@ -168,9 +175,17 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
     }
   }
 
-  if (options_.engine == EriEngineKind::kMako) {
-    std::vector<std::vector<double>> out;
-    std::vector<QuartetRef> refs;
+  if (options_.engine == EriEngineKind::kMako && !buckets.empty()) {
+    // Serial section: resolve one engine per (class, precision) — reused
+    // across buckets and across successive build_jk calls — and flatten the
+    // buckets into per-batch tasks for the pool.
+    struct BatchTask {
+      const EriClassKey* key;
+      const std::vector<PendingQuartet>* list;
+      const BatchedEriEngine* engine;
+      std::size_t start, count;
+    };
+    std::vector<BatchTask> tasks;
     for (const auto& [key_route, list] : buckets) {
       const EriClassKey& key = key_route.first;
       const bool quantized = key_route.second;
@@ -185,29 +200,66 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
           config.group_scaling = gs;
         }
       }
-      BatchedEriEngine engine(config);
+      BatchedEriEngine& engine = engines_[{key, config.gemm.precision}];
+      engine.set_config(config);
 
       for (std::size_t start = 0; start < list.size();
            start += options_.batch_size) {
         const std::size_t count =
             std::min(options_.batch_size, list.size() - start);
+        tasks.push_back(BatchTask{&key, &list, &engine, start, count});
+      }
+    }
+
+    // Parallel section: shards claim tasks round-robin and digest into
+    // per-shard J/K accumulators (second stage of dual-stage accumulation,
+    // FP64 throughout), reduced deterministically afterwards.
+    ThreadPool& pool = ThreadPool::global();
+    const std::size_t nshards =
+        options_.parallel
+            ? std::min(tasks.size(), std::max<std::size_t>(pool.size(), 1))
+            : 1;
+    struct Shard {
+      MatrixD j, k;
+      double digest_seconds = 0.0;
+      double gemm_flops = 0.0;
+    };
+    std::vector<Shard> shards(nshards);
+    const std::size_t nbf = basis_.nbf();
+    pool.parallel_for(nshards, [&](std::size_t s) {
+      Shard& shard = shards[s];
+      shard.j.resize(nbf, nbf, 0.0);
+      shard.k.resize(nbf, nbf, 0.0);
+      std::vector<std::vector<double>> out;
+      std::vector<QuartetRef> refs;
+      for (std::size_t t = s; t < tasks.size(); t += nshards) {
+        const BatchTask& task = tasks[t];
         refs.clear();
-        for (std::size_t i = 0; i < count; ++i) {
-          const PendingQuartet& pq = list[start + i];
+        for (std::size_t i = 0; i < task.count; ++i) {
+          const PendingQuartet& pq = (*task.list)[task.start + i];
           refs.push_back(QuartetRef{&shells[pq.a], &shells[pq.b],
                                     &shells[pq.c], &shells[pq.d]});
         }
-        const BatchStats bs = engine.compute_batch(
-            key, std::span<const QuartetRef>(refs), out);
-        stats.gemm_flops += bs.gemm_flops;
+        const BatchStats bs = task.engine->compute_batch(
+            *task.key, std::span<const QuartetRef>(refs), out);
+        shard.gemm_flops += bs.gemm_flops;
         Timer dt;
-        for (std::size_t i = 0; i < count; ++i) {
-          const PendingQuartet& pq = list[start + i];
-          digest_quartet(density, j, k, shells[pq.a], shells[pq.b],
-                         shells[pq.c], shells[pq.d], pq.weight, out[i]);
+        for (std::size_t i = 0; i < task.count; ++i) {
+          const PendingQuartet& pq = (*task.list)[task.start + i];
+          digest_quartet(density, shard.j, shard.k, shells[pq.a],
+                         shells[pq.b], shells[pq.c], shells[pq.d], pq.weight,
+                         out[i]);
         }
-        digest_seconds += dt.seconds();
+        shard.digest_seconds += dt.seconds();
       }
+    });
+    for (const Shard& shard : shards) {
+      j += shard.j;
+      k += shard.k;
+      stats.gemm_flops += shard.gemm_flops;
+      // Summed across shards: with real concurrency this can exceed the
+      // wall-clock digest window (it is CPU time, not elapsed time).
+      digest_seconds += shard.digest_seconds;
     }
   }
 

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <utility>
 
 #include "basis/basis_set.hpp"
 #include "compilermako/autotuner.hpp"
@@ -33,6 +35,10 @@ struct FockOptions {
   Autotuner* tuner = nullptr;     ///< optional per-class tuned configs
   std::size_t batch_size = 32;    ///< quartets per Mako batch
   int max_engine_l = 6;           ///< reference-engine angular momentum cap
+  /// Shard Mako batch evaluation + J/K digestion across the global thread
+  /// pool (per-shard accumulators, deterministic reduction).  Degrades to
+  /// inline execution on a single hardware thread.
+  bool parallel = true;
 };
 
 /// Execution statistics of one Fock build.
@@ -65,6 +71,12 @@ class FockBuilder {
   const BasisSet& basis_;
   FockOptions options_;
   MatrixD schwarz_;  ///< shell-pair Schwarz bounds
+  /// One Mako engine per (class, precision), reused across buckets and
+  /// successive build_jk calls (configs are re-resolved each call; the
+  /// engine identity — and with it the per-thread scratch warm-up — is
+  /// preserved).  Mutated only in the serial section of build_jk.
+  mutable std::map<std::pair<EriClassKey, Precision>, BatchedEriEngine>
+      engines_;
 };
 
 }  // namespace mako

@@ -68,6 +68,55 @@ INSTANTIATE_TEST_SUITE_P(
         GemmParam{128, 16, 33, 48, 16, 16, 4},
         GemmParam{9, 81, 25, 16, 48, 32, 2}));
 
+// --- Native-transpose entry point (packed + direct register-blocked paths) --
+
+void naive_gemm_ex(const std::vector<double>& a, bool ta,
+                   const std::vector<double>& b, bool tb,
+                   std::vector<double>& c, std::size_t m, std::size_t n,
+                   std::size_t k, double alpha, double beta) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double av = ta ? a[kk * m + i] : a[i * k + kk];
+        const double bv = tb ? b[j * k + kk] : b[kk * n + j];
+        acc += av * bv;
+      }
+      c[i * n + j] = beta * c[i * n + j] + alpha * acc;
+    }
+  }
+}
+
+using GemmExParam = std::tuple<int, int, int, bool, bool>;
+
+class GemmExTest : public ::testing::TestWithParam<GemmExParam> {};
+
+TEST_P(GemmExTest, TransposeVariantsMatchNaive) {
+  const auto [m, n, k, ta, tb] = GetParam();
+  Rng rng(m * 131 + n * 17 + k + (ta ? 1 : 0) + (tb ? 2 : 0));
+  const auto a = random_buffer(static_cast<std::size_t>(m) * k, rng);
+  const auto b = random_buffer(static_cast<std::size_t>(k) * n, rng);
+  auto c = random_buffer(static_cast<std::size_t>(m) * n, rng);
+  auto expected = c;
+
+  gemm_fp64_ex(a.data(), ta, b.data(), tb, c.data(), m, n, k, 1.5, 0.5);
+  naive_gemm_ex(a, ta, b, tb, expected, m, n, k, 1.5, 0.5);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], 1e-11) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndTranspose, GemmExTest,
+    ::testing::Combine(
+        // Shapes straddle both the direct (L1-resident) and the packed
+        // (panel-staged) dispatch, fringe cases included.
+        ::testing::Values(1, 5, 36, 130),  // m
+        ::testing::Values(1, 10, 90),      // n
+        ::testing::Values(1, 7, 90),       // k
+        ::testing::Bool(),                 // trans_a
+        ::testing::Bool()));               // trans_b
+
 TEST(GemmTest, AlphaBetaSemantics) {
   Rng rng(5);
   const int m = 12, n = 9, k = 15;
