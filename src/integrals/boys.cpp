@@ -2,6 +2,9 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
+
+#include "robust/audit.hpp"
 
 namespace mako {
 namespace {
@@ -44,7 +47,25 @@ BoysTable::BoysTable() {
 }
 
 void BoysTable::eval(int m, double x, double* out) const {
-  assert(m <= kBoysMaxM && x >= 0.0);
+  assert(m <= kBoysMaxM);
+
+  // Domain guard (two predictable compares on the hot path): the argument is
+  // alpha*|PQ|^2 >= 0 for healthy inputs, so a negative/NaN/Inf x means a
+  // corrupted primitive pair upstream.  Poison the outputs instead of
+  // silently serving garbage — the SCF finite sentinel catches the NaNs and
+  // the recovery ladder reacts; the trip itself is counted for the
+  // per-iteration ScfIterationRecord::domain_faults tally.
+  if (!(x >= 0.0) || x > 1e306) {
+    if (x < 0.0 && x >= -1e-12) {
+      x = 0.0;  // harmless round-off from the |PQ|^2 contraction
+    } else {
+      record_domain_fault();
+      for (int k = 0; k <= m; ++k) {
+        out[k] = std::numeric_limits<double>::quiet_NaN();
+      }
+      return;
+    }
+  }
 
   if (x >= kGridMax) {
     // Asymptotic F_0 plus stable upward recursion

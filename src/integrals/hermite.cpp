@@ -1,11 +1,13 @@
 #include "integrals/hermite.hpp"
 
 #include <cmath>
+#include <limits>
 #include <map>
 #include <mutex>
 
 #include "basis/spherical.hpp"
 #include "integrals/boys.hpp"
+#include "robust/audit.hpp"
 
 namespace mako {
 
@@ -158,6 +160,20 @@ void compute_r_integrals(int l_total, double alpha, const Vec3& pq,
                          double prefactor, double* out) {
   const HermiteBasis& hb = HermiteBasis::get(l_total);
   const int nh = hb.size();
+
+  // Domain guard: the Gaussian-product reduced exponent is strictly positive
+  // and the prefactor finite for any healthy primitive pair.  Poison the
+  // outputs on violation (counted; the SCF finite sentinel reacts) rather
+  // than feeding the recursion garbage.
+  if (!(alpha > 0.0) || !std::isfinite(prefactor) ||
+      !std::isfinite(pq[0] + pq[1] + pq[2])) {
+    record_domain_fault();
+    for (int h = 0; h < nh; ++h) {
+      out[h] = std::numeric_limits<double>::quiet_NaN();
+    }
+    return;
+  }
+
   const double t_arg =
       alpha * (pq[0] * pq[0] + pq[1] * pq[1] + pq[2] * pq[2]);
 

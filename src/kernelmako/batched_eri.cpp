@@ -6,6 +6,7 @@
 
 #include "basis/spherical.hpp"
 #include "integrals/hermite.hpp"
+#include "robust/fault_injector.hpp"
 #include "util/timer.hpp"
 
 namespace mako {
@@ -187,6 +188,15 @@ BatchStats BatchedEriEngine::compute_batch(
                       scratch.ket_e.size(), gc.precision);
     scratch.q_dyn.resize(std::max(static_cast<std::size_t>(nhb) * nhk,
                                   static_cast<std::size_t>(ncb) * nhk));
+    // Injection site: corrupt one element of the quantized bra E-operand
+    // cache (models a faulty tensor-core operand tile).  The corruption flows
+    // through GEMM1 into every quartet sharing the tile, exactly the blast
+    // radius a real bad tile would have.
+    if (MAKO_FAULT_POINT("kernelmako.quant_e_tile")) {
+      FaultInjector::instance().corrupt("kernelmako.quant_e_tile",
+                                        scratch.q_bra.data(),
+                                        scratch.q_bra.size());
+    }
   }
 
   // --- Working buffers (arena-backed; no steady-state allocation) -----------

@@ -206,7 +206,9 @@ EigenResult eigh_subspace(const MatrixD& a, std::size_t nev,
 
   VectorD prev(nev, 1e300);
   EigenResult out;
+  out.converged = false;
   for (std::size_t it = 0; it < max_iter; ++it) {
+    out.iterations = it + 1;
     // Power step: W = B * V  (a GEMM).
     MatrixD w = matmul(b, v);
 
@@ -237,7 +239,10 @@ EigenResult eigh_subspace(const MatrixD& a, std::size_t nev,
     for (std::size_t jv = 0; jv < nev; ++jv)
       delta = std::max(delta, std::fabs(ritz[jv] - prev[jv]));
     prev = ritz;
-    if (delta < tol) break;
+    if (delta < tol) {
+      out.converged = true;
+      break;
+    }
   }
 
   out.eigenvalues.assign(prev.begin(), prev.end());

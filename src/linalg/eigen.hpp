@@ -17,6 +17,11 @@ namespace mako {
 struct EigenResult {
   VectorD eigenvalues;   ///< ascending
   MatrixD eigenvectors;  ///< column i is the eigenvector for eigenvalues[i]
+  /// Iterative solvers report whether they met their tolerance within the
+  /// iteration budget; the direct solver always reports true.  The SCF
+  /// resilience layer keys its diagonalizer-fallback rung off this.
+  bool converged = true;
+  std::size_t iterations = 0;
 };
 
 /// Full eigendecomposition of a symmetric matrix (direct method).

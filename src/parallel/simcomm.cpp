@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 #include <queue>
 #include <stdexcept>
+
+#include "robust/fault_injector.hpp"
+#include "util/log.hpp"
 
 namespace mako {
 
@@ -35,30 +39,101 @@ double ClusterModel::broadcast_seconds(int nranks, std::size_t bytes) const {
   return hops * (link.latency_s + static_cast<double>(bytes) / link.bandwidth_bps);
 }
 
-SimComm::SimComm(int size, ClusterModel cluster)
-    : size_(size), cluster_(cluster) {
+std::uint64_t payload_checksum(const MatrixD& m) noexcept {
+  // FNV-1a over the raw bytes: deterministic and sensitive to every bit
+  // pattern, including NaN payloads that compare unequal to themselves.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(m.data());
+  const std::size_t n = m.size() * sizeof(double);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+SimComm::SimComm(int size, ClusterModel cluster, CommRetryPolicy retry)
+    : size_(size), cluster_(cluster), retry_(retry) {
   if (size <= 0) throw std::invalid_argument("SimComm: size must be positive");
+}
+
+bool SimComm::deliver_verified(const char* site, MatrixD& payload, int attempt,
+                               double& time_s) const {
+  const std::uint64_t expect = payload_checksum(payload);
+  bool dropped = false;
+  if (MAKO_FAULT_POINT(site)) {
+    const FaultSpec spec = FaultInjector::instance().armed_spec(site);
+    if (spec.mode == FaultMode::kDrop) {
+      dropped = true;  // message lost in flight; payload bytes never arrive
+    } else {
+      FaultInjector::instance().corrupt(site, payload.data(), payload.size());
+    }
+  }
+  if (!dropped && payload_checksum(payload) == expect) return true;
+  // Failed delivery: charge exponential backoff before the resend.
+  time_s += retry_.backoff_base_s *
+            std::pow(retry_.backoff_multiplier, static_cast<double>(attempt));
+  return false;
 }
 
 double SimComm::allreduce_sum(std::vector<MatrixD>& buffers) const {
   assert(static_cast<int>(buffers.size()) == size_);
+  last_status_ = Status::ok();
   if (buffers.empty()) return 0.0;
-  MatrixD sum = buffers[0];
-  for (int r = 1; r < size_; ++r) sum += buffers[r];
-  for (int r = 0; r < size_; ++r) buffers[r] = sum;
-  const double t =
-      cluster_.allreduce_seconds(size_, sum.size() * sizeof(double));
+  double t = 0.0;
+  for (int attempt = 0;; ++attempt) {
+    // Re-reduce from the pristine per-rank inputs each attempt; the result
+    // is the in-flight payload that delivery may corrupt or drop.
+    MatrixD sum = buffers[0];
+    for (int r = 1; r < size_; ++r) sum += buffers[r];
+    t += cluster_.allreduce_seconds(size_, sum.size() * sizeof(double));
+    if (deliver_verified("simcomm.allreduce", sum, attempt, t)) {
+      for (int r = 0; r < size_; ++r) buffers[r] = sum;
+      break;
+    }
+    if (attempt + 1 >= retry_.max_attempts) {
+      last_status_ = Status::fault(
+          FaultKind::kCommCorruption,
+          "simcomm: allreduce failed checksum verification after retry "
+          "budget exhausted; input buffers left untouched");
+      log_error("simcomm: allreduce gave up after %d attempts", attempt + 1);
+      break;
+    }
+    ++retries_;
+    log_warn("simcomm: allreduce checksum/delivery failure on attempt %d; "
+             "resending with backoff",
+             attempt + 1);
+  }
   comm_seconds_ += t;
   return t;
 }
 
 double SimComm::broadcast(std::vector<MatrixD>& buffers, int root) const {
   assert(root >= 0 && root < size_);
-  for (int r = 0; r < size_; ++r) {
-    if (r != root) buffers[r] = buffers[root];
+  last_status_ = Status::ok();
+  double t = 0.0;
+  for (int attempt = 0;; ++attempt) {
+    MatrixD payload = buffers[root];
+    t += cluster_.broadcast_seconds(size_, payload.size() * sizeof(double));
+    if (deliver_verified("simcomm.broadcast", payload, attempt, t)) {
+      for (int r = 0; r < size_; ++r) {
+        if (r != root) buffers[r] = payload;
+      }
+      break;
+    }
+    if (attempt + 1 >= retry_.max_attempts) {
+      last_status_ = Status::fault(
+          FaultKind::kCommCorruption,
+          "simcomm: broadcast failed checksum verification after retry "
+          "budget exhausted; non-root buffers left untouched");
+      log_error("simcomm: broadcast gave up after %d attempts", attempt + 1);
+      break;
+    }
+    ++retries_;
+    log_warn("simcomm: broadcast checksum/delivery failure on attempt %d; "
+             "resending with backoff",
+             attempt + 1);
   }
-  const double t = cluster_.broadcast_seconds(
-      size_, buffers[root].size() * sizeof(double));
   comm_seconds_ += t;
   return t;
 }

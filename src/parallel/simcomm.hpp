@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "robust/status.hpp"
 
 namespace mako {
 
@@ -38,12 +40,27 @@ struct ClusterModel {
   [[nodiscard]] double broadcast_seconds(int nranks, std::size_t bytes) const;
 };
 
+/// Delivery-verification policy for collectives: every payload carries a
+/// checksum; a mismatch (corruption) or a drop triggers a resend with
+/// exponential backoff, and the retry cost is folded into the modeled time.
+struct CommRetryPolicy {
+  int max_attempts = 4;            ///< 1 initial try + (max_attempts-1) resends
+  double backoff_base_s = 5e-6;    ///< first-retry backoff
+  double backoff_multiplier = 2.0; ///< exponential growth per retry
+};
+
+/// FNV-1a checksum over the raw bytes of a matrix payload (deterministic;
+/// any bit flip — including a NaN overwrite — changes it).
+[[nodiscard]] std::uint64_t payload_checksum(const MatrixD& m) noexcept;
+
 /// In-process communicator over `size` simulated ranks.  Collectives have
 /// real (verified) semantics; each call also returns the modeled wall time
-/// the collective would take on the cluster.
+/// the collective would take on the cluster, including any retries after a
+/// checksum-verification failure (fault-injection sites "simcomm.allreduce"
+/// and "simcomm.broadcast" corrupt or drop the in-flight payload).
 class SimComm {
  public:
-  SimComm(int size, ClusterModel cluster = {});
+  SimComm(int size, ClusterModel cluster = {}, CommRetryPolicy retry = {});
 
   [[nodiscard]] int size() const noexcept { return size_; }
   [[nodiscard]] const ClusterModel& cluster() const noexcept {
@@ -64,10 +81,26 @@ class SimComm {
   }
   void reset_comm_time() noexcept { comm_seconds_ = 0.0; }
 
+  /// Total resends across all collectives so far.
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+  /// Health of the most recent collective: ok, or kCommCorruption when the
+  /// retry budget was exhausted (the input buffers are left untouched then).
+  [[nodiscard]] const Status& last_status() const noexcept {
+    return last_status_;
+  }
+
  private:
+  /// Models one delivery attempt: applies injected corruption/drop to
+  /// `payload`, verifies its checksum, and charges backoff on failure.
+  bool deliver_verified(const char* site, MatrixD& payload, int attempt,
+                        double& time_s) const;
+
   int size_;
   ClusterModel cluster_;
+  CommRetryPolicy retry_;
   mutable double comm_seconds_ = 0.0;
+  mutable std::uint64_t retries_ = 0;
+  mutable Status last_status_;
 };
 
 /// Static work partitioning across ranks.

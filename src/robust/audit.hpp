@@ -1,0 +1,50 @@
+// Cheap numerical-health audits invoked from the SCF hot path.
+//
+// Each audit returns a Status from the taxonomy in robust/status.hpp with an
+// actionable message.  Costs are kept at or below the complexity of work the
+// caller just performed (finite/symmetry scans are O(n^2) after an O(n^4)
+// Fock build; the orthonormality probe is limited to the occupied block).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "linalg/eigen.hpp"
+#include "linalg/matrix.hpp"
+#include "robust/status.hpp"
+
+namespace mako {
+
+/// True iff every element of `m` is finite (vectorizable tight loop).
+[[nodiscard]] bool all_finite(const MatrixD& m) noexcept;
+[[nodiscard]] bool all_finite(const double* data, std::size_t n) noexcept;
+
+/// kNonFinite fault if any element of `m` is NaN/Inf.
+[[nodiscard]] Status audit_finite(const MatrixD& m, const char* what);
+
+/// kAsymmetry fault if max |m - m^T| exceeds `tol * max(1, max|m|)`.
+/// (J and K are built from symmetric digest updates, so healthy builds are
+/// symmetric to round-off regardless of precision mode.)
+[[nodiscard]] Status audit_symmetry(const MatrixD& m, const char* what,
+                                    double tol = 1e-10);
+
+/// Eigensolver sanity: eigenvalues finite and ascending, and the leading
+/// `probe_cols` eigenvector columns orthonormal (V^T V = I) to `ortho_tol`.
+/// `probe_cols` = 0 probes every column.
+[[nodiscard]] Status audit_eigen(const EigenResult& es, const char* what,
+                                 std::size_t probe_cols = 0,
+                                 double ortho_tol = 1e-8);
+
+// --- Domain-guard counters ---------------------------------------------------
+// The Boys/Hermite guards run per primitive quartet; they cannot afford a
+// Status allocation, so they bump a process-wide counter instead.  The SCF
+// driver snapshots the counter around each iteration and records the delta in
+// ScfIterationRecord::domain_faults.
+
+/// Total Boys/Hermite domain-guard trips since process start.
+[[nodiscard]] std::uint64_t domain_fault_count() noexcept;
+
+/// Records one domain-guard trip (thread-safe, relaxed).
+void record_domain_fault() noexcept;
+
+}  // namespace mako

@@ -1,0 +1,154 @@
+#include "robust/fault_injector.hpp"
+
+#include <limits>
+#include <map>
+#include <mutex>
+
+#include "util/log.hpp"
+
+namespace mako {
+namespace {
+
+struct SiteState {
+  FaultSpec spec{};
+  bool armed = false;
+  std::uint64_t passes = 0;
+  std::uint64_t fires = 0;
+};
+
+// Site table lives behind a function-local static so the injector is usable
+// from static-initialization contexts.
+std::mutex& table_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, SiteState>& table() {
+  static std::map<std::string, SiteState> t;
+  return t;
+}
+
+/// splitmix64: deterministic element selection from (seed, fire count).
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(table_mutex());
+  SiteState& s = table()[site];
+  if (!s.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  s.spec = spec;
+  s.armed = true;
+  s.passes = 0;
+  s.fires = 0;
+}
+
+void FaultInjector::disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(table_mutex());
+  auto it = table().find(site);
+  if (it != table().end() && it->second.armed) {
+    it->second.armed = false;
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::disarm_all() {
+  std::lock_guard<std::mutex> lock(table_mutex());
+  for (auto& [name, s] : table()) {
+    if (s.armed) {
+      s.armed = false;
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool FaultInjector::should_fire(const char* site) {
+  std::lock_guard<std::mutex> lock(table_mutex());
+  auto it = table().find(site);
+  if (it == table().end() || !it->second.armed) return false;
+  SiteState& s = it->second;
+  const std::uint64_t pass = s.passes++;
+  if (pass < static_cast<std::uint64_t>(s.spec.trigger_after)) return false;
+  if (s.spec.max_fires >= 0 &&
+      s.fires >= static_cast<std::uint64_t>(s.spec.max_fires)) {
+    return false;
+  }
+  ++s.fires;
+  log_warn("fault-injector: site %s fired (pass %llu, fire %llu)", site,
+           static_cast<unsigned long long>(pass),
+           static_cast<unsigned long long>(s.fires));
+  return true;
+}
+
+FaultSpec FaultInjector::armed_spec(const char* site) const {
+  std::lock_guard<std::mutex> lock(table_mutex());
+  auto it = table().find(site);
+  if (it == table().end()) return FaultSpec{};
+  return it->second.spec;
+}
+
+namespace {
+
+template <typename T>
+std::size_t corrupt_impl(const char* site, T* data, std::size_t n) {
+  if (n == 0) return 0;
+  FaultSpec spec;
+  std::uint64_t fire = 0;
+  {
+    std::lock_guard<std::mutex> lock(table_mutex());
+    auto it = table().find(site);
+    if (it != table().end()) {
+      spec = it->second.spec;
+      fire = it->second.fires;
+    }
+  }
+  const std::size_t idx =
+      static_cast<std::size_t>(splitmix64(spec.seed ^ fire) % n);
+  switch (spec.mode) {
+    case FaultMode::kNaN:
+      data[idx] = std::numeric_limits<T>::quiet_NaN();
+      break;
+    case FaultMode::kScale:
+      data[idx] *= static_cast<T>(1.0 + spec.magnitude);
+      break;
+    case FaultMode::kDrop:
+      break;  // payload loss is modeled by the caller, not by mutation
+  }
+  return idx;
+}
+
+}  // namespace
+
+std::size_t FaultInjector::corrupt(const char* site, double* data,
+                                   std::size_t n) {
+  return corrupt_impl(site, data, n);
+}
+
+std::size_t FaultInjector::corrupt(const char* site, float* data,
+                                   std::size_t n) {
+  return corrupt_impl(site, data, n);
+}
+
+std::uint64_t FaultInjector::fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(table_mutex());
+  auto it = table().find(site);
+  return it == table().end() ? 0 : it->second.fires;
+}
+
+std::uint64_t FaultInjector::passes(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(table_mutex());
+  auto it = table().find(site);
+  return it == table().end() ? 0 : it->second.passes;
+}
+
+}  // namespace mako

@@ -7,6 +7,7 @@
 #include "compilermako/registry.hpp"
 #include "integrals/eri_reference.hpp"
 #include "parallel/thread_pool.hpp"
+#include "robust/fault_injector.hpp"
 #include "util/timer.hpp"
 
 namespace mako {
@@ -261,6 +262,15 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
       // wall-clock digest window (it is CPU time, not elapsed time).
       digest_seconds += shard.digest_seconds;
     }
+  }
+
+  // Injection site: poison one J entry after digestion, but only for builds
+  // that actually routed quartets through quantized kernels — this models a
+  // quantized-kernel corruption escaping into the Fock matrix, the scenario
+  // the precision-escalation rung exists for.  Escalating to FP64 makes the
+  // site inert, so a recovered run converges to the FP64-exact result.
+  if (stats.quartets_quantized > 0 && MAKO_FAULT_POINT("fock.j_poison")) {
+    FaultInjector::instance().corrupt("fock.j_poison", j.data(), j.size());
   }
 
   stats.eri_seconds = eri_timer.seconds() - digest_seconds;

@@ -1,12 +1,16 @@
 #include "scf/scf.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <stdexcept>
 
 #include "integrals/one_electron.hpp"
 #include "linalg/eigen.hpp"
 #include "linalg/gemm.hpp"
+#include "robust/audit.hpp"
+#include "robust/fault_injector.hpp"
 #include "scf/diis.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -28,6 +32,50 @@ MatrixD build_density(const MatrixD& c, std::size_t nocc) {
   return d;
 }
 
+/// Runtime state of the staged recovery ladder (see ResilienceOptions).
+struct LadderState {
+  int rung = 0;
+  bool damping = false;       ///< rung 2 active
+  bool fp64 = false;          ///< rung 3 latched
+  bool direct_diag = false;   ///< rung 4 latched
+  bool full_rebuild = false;  ///< rung 5 latched
+  /// Soft detectors stay quiet until this iteration, giving each escalation
+  /// a window to take effect before the next one is considered.
+  int cooldown_until = 0;
+};
+
+void validate_inputs(const Molecule& mol, const BasisSet& basis,
+                     std::size_t* nocc_out) {
+  const int nelec = mol.num_electrons();
+  char msg[256];
+  if (nelec <= 0) {
+    std::snprintf(msg, sizeof msg,
+                  "run_scf: molecule has %d electrons (sum of nuclear charges "
+                  "minus charge %+d); a closed-shell SCF needs at least 2 — "
+                  "check the charge sign and magnitude",
+                  nelec, mol.charge());
+    throw InputError(FaultKind::kInvalidInput, msg);
+  }
+  if (nelec % 2 != 0) {
+    std::snprintf(msg, sizeof msg,
+                  "run_scf: odd electron count %d (charge %+d) is open-shell; "
+                  "this driver is restricted closed-shell RHF/RKS only — "
+                  "adjust the charge to %+d or %+d for a closed-shell state",
+                  nelec, mol.charge(), mol.charge() - 1, mol.charge() + 1);
+    throw InputError(FaultKind::kInvalidInput, msg);
+  }
+  const std::size_t nocc = static_cast<std::size_t>(nelec) / 2;
+  if (nocc > basis.nbf()) {
+    std::snprintf(msg, sizeof msg,
+                  "run_scf: basis provides %zu orbitals but %zu doubly-"
+                  "occupied orbitals are required for %d electrons; use a "
+                  "larger basis set",
+                  basis.nbf(), nocc, nelec);
+    throw InputError(FaultKind::kInvalidInput, msg);
+  }
+  *nocc_out = nocc;
+}
+
 }  // namespace
 
 double ScfResult::avg_iteration_seconds() const {
@@ -43,16 +91,9 @@ double ScfResult::avg_iteration_seconds() const {
 
 ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
                   const ScfOptions& options) {
-  const int nelec = mol.num_electrons();
-  if (nelec <= 0 || nelec % 2 != 0) {
-    throw std::invalid_argument(
-        "run_scf: closed-shell RHF/RKS requires an even electron count");
-  }
-  const std::size_t nocc = static_cast<std::size_t>(nelec) / 2;
+  std::size_t nocc = 0;
+  validate_inputs(mol, basis, &nocc);
   const std::size_t nbf = basis.nbf();
-  if (nocc > nbf) {
-    throw std::invalid_argument("run_scf: basis too small for electron count");
-  }
 
   ScfResult result;
   result.e_nuclear = mol.nuclear_repulsion();
@@ -86,6 +127,7 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
 
   const int niter = (options.fixed_iterations > 0) ? options.fixed_iterations
                                                    : options.max_iterations;
+  const ResilienceOptions& robust = options.robust;
   double last_energy = 0.0;
   double last_error = 1.0;
   // Once the SCF meets its thresholds under quantized kernels, one final
@@ -94,38 +136,142 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
   bool force_exact = false;
   // Incremental-Fock state.
   MatrixD d_prev, j_prev, k_prev;
+  // Recovery-ladder and soft-detector state.
+  LadderState ladder;
+  int rise_streak = 0;
+  std::vector<double> err_hist;
+  // Occupied ortho-basis eigenvectors of the previous iteration; used by the
+  // rung-2 level shift to push virtuals away from the occupied block.
+  MatrixD prev_y_occ;
+  bool aborted = false;
 
   for (int iter = 0; iter < niter; ++iter) {
     Timer iter_timer;
     ScfIterationRecord record;
 
-    // Precision policy for this iteration (QuantMako scheduling).
-    IterationPolicy policy;
-    if (options.enable_quantization && !force_exact) {
-      policy = scheduler.policy_for_error(iter == 0 ? 1.0 : last_error);
-    } else {
-      policy.allow_quantized = false;
-      policy.fp64_threshold = 0.0;
-      policy.prune_threshold = options.prune_threshold;
-    }
+    // Applies every ladder rung up to `target`, recording each activation.
+    auto escalate = [&](FaultKind fault, int target,
+                        const std::string& detail) {
+      if (!robust.recovery) return;
+      target = std::min(target, 5);
+      while (ladder.rung < target) {
+        ++ladder.rung;
+        RecoveryAction action = RecoveryAction::kNone;
+        switch (ladder.rung) {
+          case 1:
+            diis.reset();
+            action = RecoveryAction::kDiisReset;
+            break;
+          case 2:
+            ladder.damping = true;
+            action = RecoveryAction::kDamping;
+            break;
+          case 3:
+            ladder.fp64 = true;
+            result.fp64_latched = true;
+            action = RecoveryAction::kPrecisionEscalation;
+            break;
+          case 4:
+            ladder.direct_diag = true;
+            result.diagonalizer_fallback = true;
+            action = RecoveryAction::kDiagonalizerFallback;
+            break;
+          case 5:
+            ladder.full_rebuild = true;
+            result.full_rebuild_latched = true;
+            action = RecoveryAction::kFockRebuild;
+            break;
+          default:
+            break;
+        }
+        record.recovery_mask |= recovery_bit(action);
+        result.recovery_log.push_back({iter, fault, action, detail});
+        log_warn("scf iter %d: recovery rung %d (%s) after %s fault", iter,
+                 ladder.rung, to_string(action), to_string(fault));
+      }
+    };
 
+    // --- Fock build, with in-iteration retry on hard numeric faults -------
     MatrixD j, k;
     FockStats fs;
-    const bool do_incremental =
-        options.incremental_fock && iter > 0 && !force_exact &&
-        (iter % std::max(options.incremental_rebuild_period, 1) != 0);
-    if (do_incremental) {
-      // Two-electron response of the density change only.
-      MatrixD delta = result.density;
-      delta -= d_prev;
-      MatrixD dj, dk;
-      fs = fock_builder.build_jk(delta, policy, dj, dk);
-      j = j_prev;
-      j += dj;
-      k = k_prev;
-      k += dk;
-    } else {
-      fs = fock_builder.build_jk(result.density, policy, j, k);
+    bool force_full_this_iter = ladder.full_rebuild;
+    bool built_ok = false;
+    for (int attempt = 0; attempt <= robust.max_retries_per_iteration;
+         ++attempt) {
+      // Precision policy for this attempt (QuantMako scheduling, unless the
+      // precision-escalation rung latched FP64).
+      IterationPolicy policy;
+      if (options.enable_quantization && !force_exact && !ladder.fp64) {
+        policy = scheduler.policy_for_error(iter == 0 ? 1.0 : last_error);
+      } else {
+        policy.allow_quantized = false;
+        policy.fp64_threshold = 0.0;
+        policy.prune_threshold = options.prune_threshold;
+      }
+
+      const std::uint64_t domain_before = domain_fault_count();
+      const bool do_incremental =
+          options.incremental_fock && iter > 0 && !force_exact &&
+          !force_full_this_iter &&
+          (iter % std::max(options.incremental_rebuild_period, 1) != 0);
+      if (do_incremental) {
+        // Two-electron response of the density change only.
+        MatrixD delta = result.density;
+        delta -= d_prev;
+        MatrixD dj, dk;
+        fs = fock_builder.build_jk(delta, policy, dj, dk);
+        if (MAKO_FAULT_POINT("scf.incremental_drift")) {
+          // Symmetric bias on the delta contribution: models accumulated
+          // incremental error that only full rebuilds (rung 5) clear.
+          const FaultSpec spec =
+              FaultInjector::instance().armed_spec("scf.incremental_drift");
+          dj(0, 0) += spec.magnitude;
+        }
+        j = j_prev;
+        j += dj;
+        k = k_prev;
+        k += dk;
+      } else {
+        fs = fock_builder.build_jk(result.density, policy, j, k);
+      }
+      record.domain_faults +=
+          static_cast<std::int64_t>(domain_fault_count() - domain_before);
+
+      Status st = Status::ok();
+      if (robust.sentinels) {
+        st = audit_finite(j, "J");
+        if (st.is_ok()) st = audit_finite(k, "K");
+        if (st.is_ok()) st = audit_symmetry(j, "J", robust.symmetry_tol);
+        if (st.is_ok()) st = audit_symmetry(k, "K", robust.symmetry_tol);
+      }
+      if (st.is_ok()) {
+        built_ok = true;
+        break;
+      }
+      record.fault_mask |= fault_bit(st.kind());
+      log_warn("scf iter %d: %s", iter, st.message().c_str());
+      if (!robust.recovery || attempt == robust.max_retries_per_iteration) {
+        result.status = st;
+        break;
+      }
+      // Hard numeric fault: jump to the precision-escalation rung (or the
+      // next rung up if already there) and rebuild within this iteration.
+      escalate(st.kind(), std::max(3, ladder.rung + 1), st.message());
+      force_full_this_iter = true;
+      ++record.retries;
+    }
+    if (!built_ok) {
+      record.recovery_mask |= recovery_bit(RecoveryAction::kAbort);
+      result.recovery_log.push_back({iter, result.status.kind(),
+                                     RecoveryAction::kAbort,
+                                     result.status.message()});
+      log_error("scf iter %d: unrecoverable fault, aborting: %s", iter,
+                result.status.message().c_str());
+      record.seconds = iter_timer.seconds();
+      result.iteration_log.push_back(record);
+      result.iterations = iter + 1;
+      aborted = true;
+      break;
     }
     d_prev = result.density;
     j_prev = j;
@@ -158,6 +304,21 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
                           result.e_exact_exchange + result.e_xc;
     const double energy = e_elec + result.e_nuclear;
 
+    if (robust.sentinels && !std::isfinite(energy)) {
+      record.fault_mask |= fault_bit(FaultKind::kNonFinite);
+      result.status = Status::fault(FaultKind::kNonFinite,
+                                    "run_scf: total energy is non-finite");
+      record.recovery_mask |= recovery_bit(RecoveryAction::kAbort);
+      result.recovery_log.push_back({iter, FaultKind::kNonFinite,
+                                     RecoveryAction::kAbort,
+                                     result.status.message()});
+      record.seconds = iter_timer.seconds();
+      result.iteration_log.push_back(record);
+      result.iterations = iter + 1;
+      aborted = true;
+      break;
+    }
+
     // DIIS extrapolation.
     MatrixD f_use = fock;
     if (options.use_diis) {
@@ -170,24 +331,145 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
 
     // Diagonalize in the orthonormal basis.
     MatrixD f_ortho = matmul(matmul(x, Trans::kYes, f_use, Trans::kNo), x);
+    // Rung-2 level shift: F_ortho += shift * (I - Y_occ Y_occ^T) raises the
+    // virtual block, suppressing occupied/virtual mixing while the run is
+    // still far from converged.  Tapers off near convergence so final
+    // orbital energies are unshifted.
+    if (ladder.damping && prev_y_occ.rows() == f_ortho.rows() &&
+        last_error > 10.0 * options.diis_convergence &&
+        robust.level_shift > 0.0) {
+      MatrixD p_occ =
+          matmul(prev_y_occ, Trans::kNo, prev_y_occ, Trans::kYes);
+      p_occ *= robust.level_shift;
+      for (std::size_t i = 0; i < f_ortho.rows(); ++i) {
+        f_ortho(i, i) += robust.level_shift;
+      }
+      f_ortho -= p_occ;
+    }
+
     EigenResult es;
-    if (options.diagonalizer == Diagonalizer::kSubspace) {
+    bool used_subspace = false;
+    if (options.diagonalizer == Diagonalizer::kSubspace &&
+        !ladder.direct_diag) {
       // MatMul-aligned iterative path: only the occupied block (plus a
       // small buffer) is solved for.
       const std::size_t nev =
           std::min(f_ortho.rows(), nocc + std::min<std::size_t>(nocc, 6) + 2);
-      es = eigh_subspace(f_ortho, nev, 300, 1e-11);
+      std::size_t sub_iters = options.subspace_max_iter;
+      if (MAKO_FAULT_POINT("linalg.subspace_stall")) {
+        sub_iters = 1;  // starve the solver: models a stalled eigensolver
+      }
+      es = eigh_subspace(f_ortho, nev, sub_iters, options.subspace_tol);
+      used_subspace = true;
     } else {
       es = eigh(f_ortho);
     }
+    if (robust.sentinels) {
+      Status dst = Status::ok();
+      if (used_subspace && !es.converged) {
+        dst = Status::fault(
+            FaultKind::kSubspaceStall,
+            "run_scf: subspace diagonalizer failed to converge within its "
+            "iteration budget");
+      } else {
+        const std::size_t probe =
+            std::min(nocc + 2, es.eigenvectors.cols());
+        dst = audit_eigen(es, "Fock diagonalization", probe,
+                          robust.ortho_tol);
+      }
+      if (!dst.is_ok()) {
+        record.fault_mask |= fault_bit(dst.kind());
+        log_warn("scf iter %d: %s", iter, dst.message().c_str());
+        if (robust.recovery) {
+          // Diagonalizer fault: fall back to the direct solver immediately.
+          escalate(dst.kind(), std::max(4, ladder.rung + 1), dst.message());
+          es = eigh(f_ortho);
+          ++record.retries;
+        }
+      }
+    }
+    // Save the occupied ortho-basis block for the next level shift.
+    if (es.eigenvectors.cols() >= nocc) {
+      prev_y_occ.resize(es.eigenvectors.rows(), nocc, 0.0);
+      for (std::size_t i = 0; i < es.eigenvectors.rows(); ++i) {
+        for (std::size_t o = 0; o < nocc; ++o) {
+          prev_y_occ(i, o) = es.eigenvectors(i, o);
+        }
+      }
+    }
+
     result.coefficients = matmul(x, es.eigenvectors);
     result.orbital_energies = es.eigenvalues;
-    result.density = build_density(result.coefficients, nocc);
+    MatrixD d_new = build_density(result.coefficients, nocc);
+    if (ladder.damping) {
+      // Rung-2 static damping: mix back a fraction of the previous density.
+      const double a = robust.damping_factor;
+      d_new *= (1.0 - a);
+      MatrixD d_old = result.density;
+      d_old *= a;
+      d_new += d_old;
+    }
+    result.density = std::move(d_new);
+    if (MAKO_FAULT_POINT("scf.density_perturb")) {
+      // Symmetric, finite perturbation of the next-iteration density: the
+      // soft sentinels (oscillation/stagnation) must catch this — no hard
+      // audit will.
+      const FaultSpec spec =
+          FaultInjector::instance().armed_spec("scf.density_perturb");
+      result.density(0, 0) *= (1.0 + spec.magnitude);
+    }
     result.fock = std::move(fock);
 
     record.energy = energy;
     record.error = last_error;
     record.seconds = iter_timer.seconds();
+
+    // --- Soft sentinels: divergence / oscillation / stagnation ------------
+    if (robust.sentinels && options.fixed_iterations <= 0) {
+      if (iter > 0 && energy > last_energy + robust.divergence_tol) {
+        ++rise_streak;
+      } else {
+        rise_streak = 0;
+      }
+      err_hist.push_back(last_error);
+      const std::size_t w =
+          static_cast<std::size_t>(std::max(robust.stagnation_window, 1));
+      if (iter >= ladder.cooldown_until &&
+          rise_streak >= robust.divergence_window) {
+        record.fault_mask |= fault_bit(FaultKind::kDivergence);
+        char detail[128];
+        std::snprintf(detail, sizeof detail,
+                      "energy rose %d consecutive iterations (now %.10f)",
+                      rise_streak, energy);
+        escalate(FaultKind::kDivergence, ladder.rung + 1, detail);
+        rise_streak = 0;
+        ladder.cooldown_until = iter + robust.divergence_window + 1;
+      } else if (iter >= ladder.cooldown_until && err_hist.size() > w) {
+        const double err_then = err_hist[err_hist.size() - 1 - w];
+        if (last_error > robust.stagnation_factor * err_then &&
+            last_error > options.diis_convergence) {
+          // Classify: oscillation if the error bounced within the window,
+          // stagnation if it sat flat.
+          int rises = 0;
+          for (std::size_t i = err_hist.size() - w; i < err_hist.size();
+               ++i) {
+            if (err_hist[i] > err_hist[i - 1]) ++rises;
+          }
+          const FaultKind fk = (2 * rises >= static_cast<int>(w))
+                                   ? FaultKind::kOscillation
+                                   : FaultKind::kStagnation;
+          record.fault_mask |= fault_bit(fk);
+          char detail[128];
+          std::snprintf(detail, sizeof detail,
+                        "DIIS error %.3e made no progress over %zu "
+                        "iterations (was %.3e)",
+                        last_error, w, err_then);
+          escalate(fk, ladder.rung + 1, detail);
+          ladder.cooldown_until = iter + static_cast<int>(w);
+        }
+      }
+    }
+
     result.iteration_log.push_back(record);
     result.iterations = iter + 1;
     result.energy = energy;
@@ -213,6 +495,17 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
       break;
     }
     last_energy = energy;
+  }
+
+  if (!aborted && !result.converged && options.fixed_iterations <= 0 &&
+      result.status.is_ok()) {
+    char msg[160];
+    std::snprintf(msg, sizeof msg,
+                  "run_scf: no convergence within %d iterations "
+                  "(last error %.3e); see ScfResult::recovery_log for what "
+                  "the resilience ladder attempted",
+                  result.iterations, last_error);
+    result.status = Status::fault(FaultKind::kStagnation, msg);
   }
 
   return result;

@@ -10,6 +10,7 @@
 
 #include "chem/molecule.hpp"
 #include "quantmako/scheduler.hpp"
+#include "robust/status.hpp"
 #include "scf/fock.hpp"
 #include "scf/grid.hpp"
 #include "scf/xc.hpp"
@@ -21,6 +22,38 @@ enum class Diagonalizer {
   kDirect,    ///< full tridiagonalization + QL (robust default)
   kSubspace,  ///< MatMul-aligned blocked subspace iteration over the
               ///< occupied block (the paper's iterative-eigensolver path)
+};
+
+/// Numerical-health sentinels + staged recovery ladder configuration.
+///
+/// The ladder escalates strictly in order; reaching a rung applies every
+/// rung below it first, and rungs 3-5 latch for the rest of the run:
+///   1. DIIS reset            (discard a possibly-poisoned subspace)
+///   2. damping + level shift (static density mixing, virtual level shift)
+///   3. precision escalation  (force FP64, quantization latched off)
+///   4. diagonalizer fallback (kSubspace -> kDirect)
+///   5. full Fock rebuilds    (incremental deltas latched off)
+/// Soft faults (divergence / oscillation / stagnation) climb one rung per
+/// event; hard numeric faults (non-finite or asymmetric J/K) jump straight
+/// to rung 3 and retry the build within the same iteration; diagonalizer
+/// faults jump to rung 4.
+struct ResilienceOptions {
+  /// Master switch for the health sentinels (finite/symmetry audits on J and
+  /// K, eigen-solution sanity, divergence/oscillation detectors).
+  bool sentinels = true;
+  /// Master switch for the recovery ladder.  With this off, sentinels still
+  /// record faults in the iteration log but nothing escalates.
+  bool recovery = true;
+  double symmetry_tol = 1e-10;  ///< relative J/K symmetry audit tolerance
+  double ortho_tol = 1e-8;      ///< eigenvector orthonormality tolerance
+  int divergence_window = 3;    ///< consecutive energy rises => divergence
+  double divergence_tol = 1e-7; ///< energy rises below this are ignored
+  int stagnation_window = 6;    ///< iterations without error progress
+  /// "No progress" means err_now > factor * err_(now - window).
+  double stagnation_factor = 0.9;
+  int max_retries_per_iteration = 3;  ///< hard-fault rebuild retries
+  double damping_factor = 0.3;        ///< rung-2 static density mixing
+  double level_shift = 0.25;          ///< rung-2 virtual level shift (Ha)
 };
 
 struct ScfOptions {
@@ -46,6 +79,9 @@ struct ScfOptions {
   int fixed_iterations = 0;
   double lindep_threshold = 1e-8;
   double prune_threshold = 1e-11;       ///< Schwarz prune in pure-FP64 mode
+  std::size_t subspace_max_iter = 300;  ///< kSubspace iteration budget
+  double subspace_tol = 1e-11;          ///< kSubspace residual tolerance
+  ResilienceOptions robust{};           ///< sentinels + recovery ladder
 };
 
 struct ScfIterationRecord {
@@ -55,6 +91,10 @@ struct ScfIterationRecord {
   std::int64_t quartets_fp64 = 0;
   std::int64_t quartets_quantized = 0;
   std::int64_t quartets_pruned = 0;
+  std::uint32_t fault_mask = 0;     ///< OR of fault_bit() for detected faults
+  std::uint32_t recovery_mask = 0;  ///< OR of recovery_bit() for rungs taken
+  int retries = 0;                  ///< in-iteration hard-fault rebuilds
+  std::int64_t domain_faults = 0;   ///< Boys/Hermite domain guards tripped
 };
 
 struct ScfResult {
@@ -72,13 +112,27 @@ struct ScfResult {
   MatrixD fock;
   std::vector<ScfIterationRecord> iteration_log;
 
+  /// Overall health: ok unless the recovery ladder was exhausted (or
+  /// recovery is disabled) and the run aborted on an unrecoverable fault.
+  Status status;
+  /// Every recovery-ladder rung taken, in order, with the triggering fault.
+  std::vector<RecoveryEvent> recovery_log;
+  bool fp64_latched = false;           ///< rung 3 fired (quantization off)
+  bool diagonalizer_fallback = false;  ///< rung 4 fired (kDirect latched)
+  bool full_rebuild_latched = false;   ///< rung 5 fired (no incremental)
+
+  /// True if any recovery rung fired during the run.
+  [[nodiscard]] bool recovered() const { return !recovery_log.empty(); }
+
   /// Mean per-iteration wall time excluding the first iteration — the
   /// paper's Fig-8 metric.
   [[nodiscard]] double avg_iteration_seconds() const;
 };
 
 /// Runs the SCF to convergence (or for `fixed_iterations`).
-/// Throws std::invalid_argument for open-shell electron counts.
+/// Throws InputError (a std::invalid_argument) for inputs that cannot be
+/// represented as a closed-shell RHF/RKS problem: non-positive or odd
+/// electron counts, or a basis with fewer orbitals than occupied pairs.
 ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
                   const ScfOptions& options = {});
 

@@ -1,6 +1,8 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cstdarg>
+#include <cstdio>
 #include <mutex>
 
 namespace mako {
@@ -22,16 +24,53 @@ const char* level_tag(LogLevel level) {
   }
   return "?";
 }
+
+MAKO_PRINTF_CHECK(2, 0)
+void vlog(LogLevel level, const char* fmt, std::va_list args) {
+  char buf[1024];
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  log_message(level, buf);
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
-namespace detail {
 void log_message(LogLevel level, const std::string& msg) {
   std::lock_guard<std::mutex> lock(g_mutex);
   std::fprintf(stderr, "[mako %s] %s\n", level_tag(level), msg.c_str());
 }
-}  // namespace detail
+
+void log_debug(const char* fmt, ...) {
+  if (log_level() > LogLevel::kDebug) return;
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(LogLevel::kDebug, fmt, args);
+  va_end(args);
+}
+
+void log_info(const char* fmt, ...) {
+  if (log_level() > LogLevel::kInfo) return;
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(LogLevel::kInfo, fmt, args);
+  va_end(args);
+}
+
+void log_warn(const char* fmt, ...) {
+  if (log_level() > LogLevel::kWarn) return;
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(LogLevel::kWarn, fmt, args);
+  va_end(args);
+}
+
+void log_error(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(LogLevel::kError, fmt, args);
+  va_end(args);
+}
 
 }  // namespace mako

@@ -1,8 +1,14 @@
 // Minimal leveled logger.  Mako components report planning/tuning decisions
 // through this interface so end-to-end runs can be audited.
+//
+// The printf-style entry points carry the compiler's `format(printf, ...)`
+// attribute, so every call site is format-checked at compile time (the build
+// promotes format diagnostics to errors).  Passing a non-trivial object such
+// as std::string through the varargs is a compile error rather than the
+// silent UB the old template forwarding allowed; use log_message() or
+// ::c_str() for preformatted strings.
 #pragma once
 
-#include <cstdio>
 #include <string>
 
 namespace mako {
@@ -13,44 +19,26 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-namespace detail {
+#if defined(__GNUC__) || defined(__clang__)
+#define MAKO_PRINTF_CHECK(fmt_idx, first_arg_idx) \
+  __attribute__((format(printf, fmt_idx, first_arg_idx)))
+#else
+#define MAKO_PRINTF_CHECK(fmt_idx, first_arg_idx)
+#endif
+
+void log_debug(const char* fmt, ...) MAKO_PRINTF_CHECK(1, 2);
+void log_info(const char* fmt, ...) MAKO_PRINTF_CHECK(1, 2);
+void log_warn(const char* fmt, ...) MAKO_PRINTF_CHECK(1, 2);
+void log_error(const char* fmt, ...) MAKO_PRINTF_CHECK(1, 2);
+
+/// Preformatted-message path (safe for std::string payloads).
 void log_message(LogLevel level, const std::string& msg);
-}
 
-template <typename... Args>
-void log_debug(const char* fmt, Args... args) {
-  if (log_level() > LogLevel::kDebug) return;
-  char buf[1024];
-  std::snprintf(buf, sizeof(buf), fmt, args...);
-  detail::log_message(LogLevel::kDebug, buf);
+namespace detail {
+/// Kept for source compatibility; forwards to log_message.
+inline void log_message(LogLevel level, const std::string& msg) {
+  ::mako::log_message(level, msg);
 }
-
-template <typename... Args>
-void log_info(const char* fmt, Args... args) {
-  if (log_level() > LogLevel::kInfo) return;
-  char buf[1024];
-  std::snprintf(buf, sizeof(buf), fmt, args...);
-  detail::log_message(LogLevel::kInfo, buf);
-}
-
-template <typename... Args>
-void log_warn(const char* fmt, Args... args) {
-  if (log_level() > LogLevel::kWarn) return;
-  char buf[1024];
-  std::snprintf(buf, sizeof(buf), fmt, args...);
-  detail::log_message(LogLevel::kWarn, buf);
-}
-
-template <typename... Args>
-void log_error(const char* fmt, Args... args) {
-  char buf[1024];
-  std::snprintf(buf, sizeof(buf), fmt, args...);
-  detail::log_message(LogLevel::kError, buf);
-}
-
-inline void log_debug(const char* msg) { log_debug("%s", msg); }
-inline void log_info(const char* msg) { log_info("%s", msg); }
-inline void log_warn(const char* msg) { log_warn("%s", msg); }
-inline void log_error(const char* msg) { log_error("%s", msg); }
+}  // namespace detail
 
 }  // namespace mako
