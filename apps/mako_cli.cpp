@@ -17,6 +17,10 @@
 //   --convergence <eps>   SCF energy threshold               [1e-7]
 //   --grid <name>         coarse | standard | fine           [coarse]
 //   --charge <q>          total molecular charge             [0]
+//   --trace-out <path>    write a Chrome/Perfetto trace of the run
+//   --trace-all           include the per-GEMM/per-quantize firehose spans
+//   --metrics-json <path> write the global metrics registry as JSON
+//   --telemetry           print the per-SCF-iteration telemetry table
 //   --verbose             debug logging
 //   --help                this text
 //
@@ -29,6 +33,9 @@
 #include <string>
 
 #include "core/mako.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace {
@@ -38,7 +45,9 @@ void print_usage() {
       "usage: mako --mol <file.xyz> [--basis NAME] [--xc NAME]\n"
       "            [--engine mako|reference] [--quantize] [--autotune]\n"
       "            [--iterations N] [--max-iterations N] [--convergence EPS]\n"
-      "            [--grid coarse|standard|fine] [--charge Q] [--verbose]\n");
+      "            [--grid coarse|standard|fine] [--charge Q] [--verbose]\n"
+      "            [--trace-out PATH] [--trace-all] [--metrics-json PATH]\n"
+      "            [--telemetry]\n");
 }
 
 }  // namespace
@@ -46,6 +55,10 @@ void print_usage() {
 int main(int argc, char** argv) {
   std::string mol_path;
   int charge = 0;
+  std::string trace_path;
+  std::string metrics_path;
+  bool trace_all = false;
+  bool print_telemetry = false;
   mako::MakoOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -97,6 +110,14 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--charge") {
       charge = std::atoi(next("--charge").c_str());
+    } else if (arg == "--trace-out") {
+      trace_path = next("--trace-out");
+    } else if (arg == "--trace-all") {
+      trace_all = true;
+    } else if (arg == "--metrics-json") {
+      metrics_path = next("--metrics-json");
+    } else if (arg == "--telemetry") {
+      print_telemetry = true;
     } else if (arg == "--verbose") {
       mako::set_log_level(mako::LogLevel::kDebug);
     } else if (arg == "--help" || arg == "-h") {
@@ -128,9 +149,49 @@ int main(int argc, char** argv) {
                 options.quantization ? " +quantize" : "",
                 options.autotune ? " +autotune" : "");
 
+    const bool tracing = !trace_path.empty();
+    if (tracing) {
+      if (!mako::obs::compiled_in()) {
+        std::fprintf(stderr,
+                     "mako: --trace-out ignored: instrumentation compiled out "
+                     "(rebuild with -DMAKO_OBSERVABILITY=ON)\n");
+      }
+      mako::obs::Tracer::instance().start(trace_all
+                                              ? mako::obs::Tracer::kAllMask
+                                              : mako::obs::Tracer::kDefaultMask);
+    }
+
     mako::MakoEngine engine(options);
     const mako::MakoReport report = engine.compute_energy(mol);
     std::cout << report.summary();
+
+    if (tracing) {
+      mako::obs::Tracer& tracer = mako::obs::Tracer::instance();
+      tracer.stop();
+      if (tracer.write_json(trace_path)) {
+        std::printf("\ntrace:    %s (%zu events; load in ui.perfetto.dev)\n",
+                    trace_path.c_str(), tracer.event_count());
+      } else {
+        std::fprintf(stderr, "mako: failed to write trace to '%s'\n",
+                     trace_path.c_str());
+      }
+    }
+    if (!metrics_path.empty()) {
+      const std::string json = mako::obs::MetricsRegistry::global().to_json();
+      std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+      if (f != nullptr) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("metrics:  %s\n", metrics_path.c_str());
+      } else {
+        std::fprintf(stderr, "mako: failed to write metrics to '%s'\n",
+                     metrics_path.c_str());
+      }
+    }
+    if (print_telemetry) {
+      std::printf("\nper-iteration telemetry:\n%s",
+                  mako::obs::telemetry_table(report.scf.telemetry).c_str());
+    }
     return report.scf.converged || options.fixed_iterations > 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mako: error: %s\n", e.what());

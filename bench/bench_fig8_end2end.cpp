@@ -18,10 +18,20 @@
 
 #include "basis/basis_set.hpp"
 #include "chem/builders.hpp"
+#include "obs/metrics.hpp"
 #include "scf/scf.hpp"
 
 namespace {
 using namespace mako;
+
+/// Per-stage breakdown of one engine's run, pulled from the global metrics
+/// registry (zeros when the instrumentation is compiled out).
+struct StageBreakdown {
+  double eri_s = 0.0;
+  double digest_s = 0.0;
+  double diag_s = 0.0;
+  long long gemm_calls = 0;
+};
 
 struct Record {
   std::string system;
@@ -30,15 +40,36 @@ struct Record {
   std::size_t nbf = 0;
   double t_ref = 0.0;
   double t_mako = 0.0;
+  StageBreakdown ref_stages;
+  StageBreakdown mako_stages;
 };
 
+StageBreakdown collect_stages() {
+  const obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  StageBreakdown s;
+  if (const obs::Histogram* h = reg.find_histogram("fock.eri_s"))
+    s.eri_s = h->sum();
+  if (const obs::Histogram* h = reg.find_histogram("fock.digest_s"))
+    s.digest_s = h->sum();
+  if (const obs::Histogram* h = reg.find_histogram("scf.diag_s"))
+    s.diag_s = h->sum();
+  if (const obs::Counter* c = reg.find_counter("gemm.calls"))
+    s.gemm_calls = static_cast<long long>(c->value());
+  return s;
+}
+
 double avg_iteration_seconds(const Molecule& mol, const std::string& basis,
-                             EriEngineKind engine, int iterations) {
+                             EriEngineKind engine, int iterations,
+                             StageBreakdown* stages) {
   const BasisSet bs(mol, basis);
   ScfOptions options;
   options.fock.engine = engine;
   options.fixed_iterations = iterations;
+  // Zero the global registry so the collected stage metrics cover exactly
+  // this run (in-place reset keeps cached instrument references valid).
+  obs::MetricsRegistry::global().reset();
   const ScfResult r = run_scf(mol, bs, options);
+  *stages = collect_stages();
   return r.avg_iteration_seconds();
 }
 
@@ -50,12 +81,22 @@ Record run_system(const char* name, const Molecule& mol,
   rec.basis = basis;
   rec.atoms = mol.size();
   rec.nbf = bs.nbf();
-  rec.t_ref = avg_iteration_seconds(mol, basis, EriEngineKind::kReference, 2);
-  rec.t_mako = avg_iteration_seconds(mol, basis, EriEngineKind::kMako, 2);
+  rec.t_ref = avg_iteration_seconds(mol, basis, EriEngineKind::kReference, 2,
+                                    &rec.ref_stages);
+  rec.t_mako = avg_iteration_seconds(mol, basis, EriEngineKind::kMako, 2,
+                                     &rec.mako_stages);
   std::printf("%-14s %-10s %6zu %6zu %13.3f %13.3f %8.2fx\n", name,
               basis.c_str(), rec.atoms, rec.nbf, rec.t_ref, rec.t_mako,
               rec.t_ref / rec.t_mako);
   return rec;
+}
+
+void write_stages_json(std::FILE* f, const char* label,
+                       const StageBreakdown& s, const char* trailer) {
+  std::fprintf(f,
+               "     \"%s\": {\"eri_s\": %.6f, \"digest_s\": %.6f, "
+               "\"diag_s\": %.6f, \"gemm_calls\": %lld}%s\n",
+               label, s.eri_s, s.digest_s, s.diag_s, s.gemm_calls, trailer);
 }
 
 void write_json(const char* path, const std::vector<Record>& records) {
@@ -73,9 +114,12 @@ void write_json(const char* path, const std::vector<Record>& records) {
         f,
         "    {\"system\": \"%s\", \"basis\": \"%s\", \"atoms\": %zu, "
         "\"nbf\": %zu, \"t_ref_s\": %.6f, \"t_mako_s\": %.6f, "
-        "\"speedup\": %.4f}%s\n",
+        "\"speedup\": %.4f,\n     \"stages\": {\n",
         r.system.c_str(), r.basis.c_str(), r.atoms, r.nbf, r.t_ref, r.t_mako,
-        r.t_ref / r.t_mako, i + 1 < records.size() ? "," : "");
+        r.t_ref / r.t_mako);
+    write_stages_json(f, "ref", r.ref_stages, ",");
+    write_stages_json(f, "mako", r.mako_stages, "");
+    std::fprintf(f, "     }}%s\n", i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

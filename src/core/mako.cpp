@@ -4,6 +4,7 @@
 
 #include "basis/basis_set.hpp"
 #include "compilermako/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -69,6 +70,7 @@ int MakoEngine::tune_for(const Molecule& mol) {
 }
 
 MakoReport MakoEngine::compute_energy(const Molecule& mol) {
+  MAKO_TRACE_SCOPE(obs::TraceCat::kApp, "mako.compute_energy");
   Timer total;
   MakoReport report;
 

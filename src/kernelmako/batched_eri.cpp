@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "basis/spherical.hpp"
 #include "integrals/hermite.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "robust/fault_injector.hpp"
 #include "util/timer.hpp"
 
@@ -105,6 +108,18 @@ BatchStats BatchedEriEngine::compute_batch(
   const std::size_t nq = batch.size();
   out.resize(nq);
   if (nq == 0) return stats;
+
+  obs::TraceSpan span(obs::TraceCat::kKernel, "kernelmako.batch");
+  if (span.active()) {
+    char args[96];
+    std::snprintf(args, sizeof args,
+                  "\"class\":\"(%d%d|%d%d)\",\"quartets\":%zu", key.la, key.lb,
+                  key.lc, key.ld, nq);
+    span.set_args(args);
+  }
+  MAKO_METRIC_COUNT("kernel.batches", 1);
+  MAKO_METRIC_COUNT("kernel.quartets",
+                    static_cast<std::int64_t>(nq));
 
   const int nhb = plan.nhb;
   const int nhk = plan.nhk;
@@ -381,6 +396,7 @@ BatchStats BatchedEriEngine::compute_batch(
   stats.global_bytes += 8.0 * nq * (cart_stride + nsb * nsk);
 
   stats.wall_seconds = timer.seconds();
+  MAKO_METRIC_OBSERVE("kernel.batch_s", stats.wall_seconds);
   return stats;
 }
 

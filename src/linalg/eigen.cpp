@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "linalg/gemm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mako {
 namespace {
@@ -144,6 +146,8 @@ void tqli(VectorD& d, VectorD& e, MatrixD& z) {
 }  // namespace
 
 EigenResult eigh(const MatrixD& a) {
+  MAKO_TRACE_SCOPE(obs::TraceCat::kLinalg, "eigh");
+  MAKO_METRIC_COUNT("linalg.eigh_calls", 1);
   if (a.rows() != a.cols()) {
     throw std::invalid_argument("eigh: matrix must be square");
   }
@@ -178,6 +182,8 @@ EigenResult eigh(const MatrixD& a) {
 
 EigenResult eigh_subspace(const MatrixD& a, std::size_t nev,
                           std::size_t max_iter, double tol) {
+  MAKO_TRACE_SCOPE(obs::TraceCat::kLinalg, "eigh_subspace");
+  MAKO_METRIC_COUNT("linalg.eigh_subspace_calls", 1);
   const std::size_t n = a.rows();
   nev = std::min(nev, n);
   if (nev == 0) return {};

@@ -2,10 +2,25 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mako {
 namespace {
+
+// Per-call span for the GEMM firehose category (off in the default trace
+// mask; enabled via --trace-all).  Args are formatted only while recording.
+inline void annotate_gemm_span(obs::TraceSpan& span, std::size_t m,
+                               std::size_t n, std::size_t k) {
+  if (span.active()) {
+    char args[64];
+    std::snprintf(args, sizeof args, "\"m\":%zu,\"n\":%zu,\"k\":%zu", m, n, k);
+    span.set_args(args);
+  }
+}
 
 // Inner micro-kernel: processes one block tile with the K loop unrolled by U.
 // The unroll factor is the host-side realization of the paper's implicit
@@ -330,6 +345,9 @@ void gemm_packed(const T* a, bool trans_a, const T* b, bool trans_b, T* c,
 void gemm_fp64(const double* a, const double* b, double* c, std::size_t m,
                std::size_t n, std::size_t k, double alpha, double beta,
                const GemmConfig& cfg) {
+  obs::TraceSpan span(obs::TraceCat::kGemm, "gemm_fp64");
+  annotate_gemm_span(span, m, n, k);
+  MAKO_METRIC_COUNT("gemm.calls", 1);
   if (cfg.packed) {
     gemm_packed<double>(a, false, b, false, c, m, n, k, alpha, beta);
   } else {
@@ -350,6 +368,9 @@ void gemm_fp32(const float* a, const float* b, float* c, std::size_t m,
 void gemm_fp64_ex(const double* a, bool trans_a, const double* b, bool trans_b,
                   double* c, std::size_t m, std::size_t n, std::size_t k,
                   double alpha, double beta, const GemmConfig& cfg) {
+  obs::TraceSpan span(obs::TraceCat::kGemm, "gemm_fp64_ex");
+  annotate_gemm_span(span, m, n, k);
+  MAKO_METRIC_COUNT("gemm.calls", 1);
   if (!cfg.packed && !trans_a && !trans_b) {
     gemm_tiled<double>(a, b, c, m, n, k, alpha, beta, cfg);
     return;
@@ -359,6 +380,9 @@ void gemm_fp64_ex(const double* a, bool trans_a, const double* b, bool trans_b,
 
 void quantize_to_float(const double* src, float* dst, std::size_t n,
                        Precision p) {
+  MAKO_TRACE_SCOPE(obs::TraceCat::kQuant, "quantize_to_float");
+  MAKO_METRIC_COUNT("quant.calls", 1);
+  MAKO_METRIC_COUNT("quant.elements", static_cast<std::int64_t>(n));
   switch (p) {
     case Precision::kFP16:
       for (std::size_t i = 0; i < n; ++i)
@@ -378,6 +402,10 @@ void gemm_quantized_ops(const float* qa, bool trans_a, const float* qb,
                         bool trans_b, double* c, std::size_t m, std::size_t n,
                         std::size_t k, double alpha, double beta,
                         const GemmConfig& cfg) {
+  obs::TraceSpan span(obs::TraceCat::kGemm, "gemm_quantized_ops");
+  annotate_gemm_span(span, m, n, k);
+  MAKO_METRIC_COUNT("gemm.calls", 1);
+  MAKO_METRIC_COUNT("gemm.quantized_calls", 1);
   // Stage one of dual-stage accumulation: FP32 multiply/accumulate over the
   // pre-rounded operands.
   static thread_local std::vector<float> acc;
@@ -421,6 +449,9 @@ void gemm_quantized(const double* a, const double* b, double* c, std::size_t m,
 void gemm_fp16_naive(const double* a, const double* b, double* c,
                      std::size_t m, std::size_t n, std::size_t k, double alpha,
                      double beta, bool trans_a) {
+  obs::TraceSpan span(obs::TraceCat::kGemm, "gemm_fp16_naive");
+  annotate_gemm_span(span, m, n, k);
+  MAKO_METRIC_COUNT("gemm.calls", 1);
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
       // FP16 accumulator: every partial sum is rounded back to binary16,

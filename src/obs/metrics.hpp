@@ -1,0 +1,191 @@
+// Thread-safe metrics registry: counters, gauges, histograms.
+//
+// Replaces the non-thread-safe StageTimings accumulation (src/util/timer.hpp
+// keeps the old API as a thin shim over a private registry instance).  The
+// global() registry is the process-wide sink the hot-path instrumentation
+// records into and the bench harnesses/CLI export from (`--metrics-json`).
+//
+// Concurrency contract:
+//   * Counter/Gauge/Histogram mutation is lock-free (relaxed atomics; doubles
+//     accumulate through a CAS loop) — safe from thread-pool workers.
+//   * Registry lookup takes a mutex; hot paths cache the returned reference
+//     (stable for the registry's lifetime, across reset()) in a function-local
+//     static.  See MAKO_METRIC_COUNT / MAKO_METRIC_OBSERVE.
+//   * reset() zeroes every instrument in place (cached references stay
+//     valid); clear() erases them and is only safe on instance registries
+//     that hand out no long-lived references (e.g. the StageTimings shim).
+//
+// The MAKO_METRIC_* macros compile away with MAKO_OBSERVABILITY=OFF; the
+// registry classes themselves stay functional in that configuration (the
+// StageTimings shim and explicit bench exports rely on them).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"  // obs::compiled_in()
+
+namespace mako::obs {
+
+namespace detail {
+/// Atomic double accumulation via compare-exchange (portable; no reliance on
+/// std::atomic<double>::fetch_add).
+inline void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+inline void atomic_min(std::atomic<double>& target, double value) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (value < cur && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+inline void atomic_max(std::atomic<double>& target, double value) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (value > cur && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// Monotonic integer counter.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-write-wins floating-point gauge.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log10-bucketed histogram of non-negative samples (seconds-scale by
+/// convention: bucket i holds samples in [1e-9*10^i, 1e-9*10^(i+1)), the last
+/// bucket is the overflow).  Tracks count/sum/min/max exactly.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 16;
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::int64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept {
+    const std::int64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  /// 0 when empty (a reporting-friendly sentinel, not +inf).
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] std::int64_t bucket_count(int i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Upper bound of bucket i (inclusive side of the `le` convention).
+  static double bucket_upper_bound(int i) noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid only when count_ > 0
+  std::atomic<double> max_{0.0};
+  std::atomic<std::int64_t> buckets_[kBuckets]{};
+};
+
+/// Named-instrument registry.  global() is the process-wide instance.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Leaky singleton (same rationale as Tracer::instance()).
+  static MetricsRegistry& global();
+
+  /// Find-or-create; returned references stay valid until clear().
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Read-only lookups (nullptr when the instrument does not exist).
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  /// Zeroes every instrument in place; cached references remain valid.
+  void reset();
+  /// Erases every instrument.  Invalidates previously returned references —
+  /// never call on global() (hot paths cache references into it).
+  void clear();
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} JSON document.
+  [[nodiscard]] std::string to_json() const;
+  /// Human-readable table of all instruments.
+  [[nodiscard]] std::string report() const;
+
+  [[nodiscard]] std::vector<std::string> histogram_names() const;
+
+ private:
+  mutable std::mutex mutex_;  ///< guards the maps, not the instruments
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mako::obs
+
+// Hot-path recording macros: cache the registry lookup in a function-local
+// static, compile away entirely with MAKO_OBSERVABILITY=OFF.
+#if MAKO_OBSERVABILITY
+#define MAKO_METRIC_COUNT(name, n)                               \
+  do {                                                           \
+    static ::mako::obs::Counter& mako_metric_counter_ =          \
+        ::mako::obs::MetricsRegistry::global().counter(name);    \
+    mako_metric_counter_.add(n);                                 \
+  } while (0)
+#define MAKO_METRIC_OBSERVE(name, v)                             \
+  do {                                                           \
+    static ::mako::obs::Histogram& mako_metric_histogram_ =      \
+        ::mako::obs::MetricsRegistry::global().histogram(name);  \
+    mako_metric_histogram_.observe(v);                           \
+  } while (0)
+#define MAKO_METRIC_GAUGE(name, v)                               \
+  do {                                                           \
+    static ::mako::obs::Gauge& mako_metric_gauge_ =              \
+        ::mako::obs::MetricsRegistry::global().gauge(name);      \
+    mako_metric_gauge_.set(v);                                   \
+  } while (0)
+#else
+#define MAKO_METRIC_COUNT(name, n) static_cast<void>(0)
+#define MAKO_METRIC_OBSERVE(name, v) static_cast<void>(0)
+#define MAKO_METRIC_GAUGE(name, v) static_cast<void>(0)
+#endif

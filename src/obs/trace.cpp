@@ -1,0 +1,141 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+namespace mako::obs {
+
+const char* to_string(TraceCat cat) noexcept {
+  switch (cat) {
+    case TraceCat::kScf:
+      return "scf";
+    case TraceCat::kFock:
+      return "fock";
+    case TraceCat::kKernel:
+      return "kernelmako";
+    case TraceCat::kLinalg:
+      return "linalg";
+    case TraceCat::kComm:
+      return "comm";
+    case TraceCat::kApp:
+      return "app";
+    case TraceCat::kGemm:
+      return "gemm";
+    case TraceCat::kQuant:
+      return "quant";
+  }
+  return "unknown";
+}
+
+Tracer& Tracer::instance() {
+  // Leaked deliberately: spans may close during static destruction (global
+  // thread-pool teardown) and must find a live tracer.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::start(std::uint32_t category_mask) {
+  if constexpr (!compiled_in()) return;
+  clear();
+  epoch_ = std::chrono::steady_clock::now();
+  mask_.store(category_mask, std::memory_order_relaxed);
+}
+
+void Tracer::stop() { mask_.store(0, std::memory_order_relaxed); }
+
+double Tracer::now_us() const noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  thread_local ThreadBuffer* cached = nullptr;
+  if (cached == nullptr) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    buffer->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(registry_mutex_);
+      buffers_.push_back(buffer);
+    }
+    // The registry's shared_ptr keeps the buffer alive past thread exit, so
+    // serialization never races a dying thread.
+    cached = buffer.get();
+  }
+  return *cached;
+}
+
+void Tracer::record(const char* name, TraceCat cat, double ts_us,
+                    double dur_us, std::string args) {
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(
+      TraceEvent{name, cat, ts_us, dur_us, buffer.tid, std::move(args)});
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::size_t n = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> inner(buffer->mutex);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+std::string Tracer::to_json() const {
+  std::string out;
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> inner(buffer->mutex);
+    if (!buffer->events.empty()) {
+      // Perfetto thread-name metadata so tracks are labelled.
+      char meta[128];
+      std::snprintf(meta, sizeof meta,
+                    "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                    "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+                    first ? "" : ",\n", buffer->tid,
+                    buffer->tid == 0 ? "main" : "worker");
+      out += meta;
+      first = false;
+    }
+    for (const TraceEvent& e : buffer->events) {
+      char head[256];
+      std::snprintf(head, sizeof head,
+                    "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                    "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u",
+                    first ? "" : ",\n", e.name, to_string(e.cat), e.ts_us,
+                    e.dur_us, e.tid);
+      out += head;
+      first = false;
+      if (!e.args.empty()) {
+        out += ",\"args\":{";
+        out += e.args;
+        out += "}";
+      }
+      out += "}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = (std::fclose(f) == 0) && written == json.size();
+  return ok;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> inner(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+}  // namespace mako::obs

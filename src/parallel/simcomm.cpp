@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <numeric>
 #include <queue>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "robust/fault_injector.hpp"
 #include "util/log.hpp"
 
@@ -80,6 +83,9 @@ double SimComm::allreduce_sum(std::vector<MatrixD>& buffers) const {
   assert(static_cast<int>(buffers.size()) == size_);
   last_status_ = Status::ok();
   if (buffers.empty()) return 0.0;
+  obs::TraceSpan span(obs::TraceCat::kComm, "simcomm.allreduce");
+  MAKO_METRIC_COUNT("comm.allreduce_calls", 1);
+  const std::uint64_t retries_before = retries_;
   double t = 0.0;
   for (int attempt = 0;; ++attempt) {
     // Re-reduce from the pristine per-rank inputs each attempt; the result
@@ -105,12 +111,26 @@ double SimComm::allreduce_sum(std::vector<MatrixD>& buffers) const {
              attempt + 1);
   }
   comm_seconds_ += t;
+  if (span.active()) {
+    char args[96];
+    std::snprintf(args, sizeof args,
+                  "\"modeled_s\":%.3e,\"bytes\":%zu,\"retries\":%llu", t,
+                  buffers[0].size() * sizeof(double),
+                  static_cast<unsigned long long>(retries_ - retries_before));
+    span.set_args(args);
+  }
+  MAKO_METRIC_COUNT("comm.retries",
+                    static_cast<std::int64_t>(retries_ - retries_before));
+  MAKO_METRIC_OBSERVE("comm.modeled_s", t);
   return t;
 }
 
 double SimComm::broadcast(std::vector<MatrixD>& buffers, int root) const {
   assert(root >= 0 && root < size_);
   last_status_ = Status::ok();
+  obs::TraceSpan span(obs::TraceCat::kComm, "simcomm.broadcast");
+  MAKO_METRIC_COUNT("comm.broadcast_calls", 1);
+  const std::uint64_t retries_before = retries_;
   double t = 0.0;
   for (int attempt = 0;; ++attempt) {
     MatrixD payload = buffers[root];
@@ -135,6 +155,17 @@ double SimComm::broadcast(std::vector<MatrixD>& buffers, int root) const {
              attempt + 1);
   }
   comm_seconds_ += t;
+  if (span.active()) {
+    char args[96];
+    std::snprintf(args, sizeof args,
+                  "\"modeled_s\":%.3e,\"bytes\":%zu,\"retries\":%llu", t,
+                  buffers[root].size() * sizeof(double),
+                  static_cast<unsigned long long>(retries_ - retries_before));
+    span.set_args(args);
+  }
+  MAKO_METRIC_COUNT("comm.retries",
+                    static_cast<std::int64_t>(retries_ - retries_before));
+  MAKO_METRIC_OBSERVE("comm.modeled_s", t);
   return t;
 }
 

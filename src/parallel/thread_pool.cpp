@@ -1,8 +1,17 @@
 #include "parallel/thread_pool.hpp"
 
-#include <atomic>
+#include <algorithm>
+
+#include "obs/metrics.hpp"
 
 namespace mako {
+
+namespace {
+// Set by worker_loop so parallel_for can detect that it is already running on
+// a worker of this pool (nested parallelism) and must execute inline instead
+// of queueing tasks it might end up waiting on.
+thread_local ThreadPool* tl_worker_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -26,7 +35,10 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
+ThreadPool* ThreadPool::current() noexcept { return tl_worker_pool; }
+
 void ThreadPool::worker_loop() {
+  tl_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -40,44 +52,72 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::run_chunks(Context& ctx) {
+  for (;;) {
+    const std::size_t c = ctx.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= ctx.nchunks) return;
+    const std::size_t lo = c * ctx.count / ctx.nchunks;
+    const std::size_t hi = (c + 1) * ctx.count / ctx.nchunks;
+    for (std::size_t i = lo; i < hi; ++i) (*ctx.fn)(i);
+    // Completion is counted per chunk, after fn ran: when the caller sees
+    // chunks_done == nchunks every fn invocation has finished, so the
+    // caller's stack frame (fn, ctx fields) may be torn down safely.
+    if (ctx.chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        ctx.nchunks) {
+      std::lock_guard<std::mutex> lock(ctx.done_mutex);
+      ctx.done_cv.notify_one();
+    }
+  }
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
+  // Inline paths: no workers, a degenerate loop, or a nested call from one of
+  // this pool's own workers.  The nested case used to deadlock — the worker
+  // queued tasks and then blocked waiting for them, but as a worker it was
+  // itself the thread that should have run them.
   if (workers_.empty() || count == 1) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
+  if (tl_worker_pool == this) {
+    MAKO_METRIC_COUNT("pool.nested_inline", 1);
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  MAKO_METRIC_COUNT("pool.parallel_for", 1);
 
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> done{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  auto ctx = std::make_shared<Context>();
+  ctx->count = count;
+  // Over-decompose ~4x for load balance; the caller counts as a lane too.
+  ctx->nchunks = std::min(count, (workers_.size() + 1) * 4);
+  ctx->fn = &fn;
 
-  const std::size_t nchunks = std::min(count, workers_.size() * 4);
-  auto chunk_task = [&, nchunks]() {
-    for (;;) {
-      const std::size_t c = next.fetch_add(1);
-      if (c >= nchunks) break;
-      const std::size_t lo = c * count / nchunks;
-      const std::size_t hi = (c + 1) * count / nchunks;
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    }
-    if (done.fetch_add(1) + 1 == workers_.size()) {
-      std::lock_guard<std::mutex> lock(done_mutex);
-      done_cv.notify_one();
-    }
-  };
-
+  // One queued helper per worker, capped at nchunks-1 (the caller claims at
+  // least one chunk itself).  Helpers that wake up after every chunk has been
+  // claimed see next >= nchunks and return without touching fn.
+  const std::size_t helpers = std::min(workers_.size(), ctx->nchunks - 1);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t w = 0; w < workers_.size(); ++w) {
-      tasks_.push(chunk_task);
+    for (std::size_t w = 0; w < helpers; ++w) {
+      tasks_.push([ctx] { run_chunks(*ctx); });
     }
   }
-  cv_.notify_all();
+  if (helpers == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
 
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return done.load() == workers_.size(); });
+  // The caller drains chunks like any worker — this is what makes the call
+  // safe when all workers are busy with unrelated (or sibling) tasks.
+  run_chunks(*ctx);
+
+  std::unique_lock<std::mutex> lock(ctx->done_mutex);
+  ctx->done_cv.wait(lock, [&] {
+    return ctx->chunks_done.load(std::memory_order_acquire) == ctx->nchunks;
+  });
 }
 
 ThreadPool& ThreadPool::global() {

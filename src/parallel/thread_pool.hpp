@@ -2,11 +2,21 @@
 // the host we use a thread pool for intra-rank parallel loops (Fock digestion,
 // grid evaluation).  The pool degrades gracefully to serial execution on a
 // single hardware thread.
+//
+// parallel_for is cooperative: the calling thread drains chunks alongside the
+// workers instead of blocking on a condition variable while work is pending.
+// That makes the call safe even when every worker is busy with unrelated
+// tasks, and a nested parallel_for issued from inside a worker of the same
+// pool is detected and run inline rather than re-queued (re-queuing from a
+// worker used to deadlock: the worker waited on completion of tasks that only
+// it could have executed).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -14,7 +24,7 @@
 
 namespace mako {
 
-/// Fixed-size worker pool with a blocking `run_batch` API.
+/// Fixed-size worker pool with a blocking `parallel_for` API.
 class ThreadPool {
  public:
   /// `num_threads == 0` selects std::thread::hardware_concurrency().
@@ -27,14 +37,35 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
   /// Runs fn(i) for i in [0, count) across the pool and blocks until done.
-  /// With zero workers (or count==1) the loop runs inline.
+  /// The caller participates in the loop (it claims chunks like a worker), so
+  /// progress is guaranteed even when all workers are busy.  With zero
+  /// workers, count==1, or when called from a worker thread of this pool
+  /// (nested parallelism) the loop runs inline.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
+
+  /// The pool whose worker thread is executing the caller, or nullptr when
+  /// called from a non-worker thread (e.g. main).
+  [[nodiscard]] static ThreadPool* current() noexcept;
 
   /// Process-wide default pool (sized to the hardware).
   static ThreadPool& global();
 
  private:
+  /// Shared state of one parallel_for call.  Owned by shared_ptr so queued
+  /// task copies that run after the call returned (their chunks were already
+  /// claimed by other threads) observe a valid, drained context and exit.
+  struct Context {
+    std::size_t count = 0;
+    std::size_t nchunks = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};         ///< next unclaimed chunk
+    std::atomic<std::size_t> chunks_done{0};  ///< fully executed chunks
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+
+  static void run_chunks(Context& ctx);
   void worker_loop();
 
   std::vector<std::thread> workers_;

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <map>
 
 #include "compilermako/registry.hpp"
 #include "integrals/eri_reference.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "robust/fault_injector.hpp"
 #include "util/timer.hpp"
@@ -87,6 +90,8 @@ FockBuilder::FockBuilder(const BasisSet& basis, FockOptions options)
 FockStats FockBuilder::build_jk(const MatrixD& density,
                                 const IterationPolicy& policy, MatrixD& j,
                                 MatrixD& k) const {
+  obs::TraceSpan build_span(obs::TraceCat::kFock, "fock.build_jk");
+  MAKO_METRIC_COUNT("fock.builds", 1);
   FockStats stats;
   const auto& shells = basis_.shells();
   const std::size_t ns = shells.size();
@@ -126,6 +131,9 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
     digest_seconds += dt.seconds();
   };
 
+  // Screening + routing (for the reference engine the quartet work itself
+  // also runs inside this span).
+  obs::TraceSpan screen_span(obs::TraceCat::kFock, "fock.screen");
   for (std::size_t a = 0; a < ns; ++a) {
     for (std::size_t b = 0; b <= a; ++b) {
       const double qab = schwarz_(a, b);
@@ -175,6 +183,7 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
       }
     }
   }
+  screen_span.end();
 
   if (options_.engine == EriEngineKind::kMako && !buckets.empty()) {
     // Serial section: resolve one engine per (class, precision) — reused
@@ -228,6 +237,12 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
     std::vector<Shard> shards(nshards);
     const std::size_t nbf = basis_.nbf();
     pool.parallel_for(nshards, [&](std::size_t s) {
+      obs::TraceSpan shard_span(obs::TraceCat::kFock, "fock.shard");
+      if (shard_span.active()) {
+        char args[32];
+        std::snprintf(args, sizeof args, "\"shard\":%zu", s);
+        shard_span.set_args(args);
+      }
       Shard& shard = shards[s];
       shard.j.resize(nbf, nbf, 0.0);
       shard.k.resize(nbf, nbf, 0.0);
@@ -254,6 +269,7 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
         shard.digest_seconds += dt.seconds();
       }
     });
+    MAKO_TRACE_SCOPE(obs::TraceCat::kFock, "fock.reduce");
     for (const Shard& shard : shards) {
       j += shard.j;
       k += shard.k;
@@ -275,6 +291,20 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
 
   stats.eri_seconds = eri_timer.seconds() - digest_seconds;
   stats.digest_seconds = digest_seconds;
+  MAKO_METRIC_COUNT("fock.quartets_fp64", stats.quartets_fp64);
+  MAKO_METRIC_COUNT("fock.quartets_quantized", stats.quartets_quantized);
+  MAKO_METRIC_COUNT("fock.quartets_pruned", stats.quartets_pruned);
+  MAKO_METRIC_OBSERVE("fock.eri_s", stats.eri_seconds);
+  MAKO_METRIC_OBSERVE("fock.digest_s", stats.digest_seconds);
+  if (build_span.active()) {
+    char args[128];
+    std::snprintf(args, sizeof args,
+                  "\"fp64\":%lld,\"quantized\":%lld,\"pruned\":%lld",
+                  static_cast<long long>(stats.quartets_fp64),
+                  static_cast<long long>(stats.quartets_quantized),
+                  static_cast<long long>(stats.quartets_pruned));
+    build_span.set_args(args);
+  }
   return stats;
 }
 

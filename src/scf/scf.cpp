@@ -9,6 +9,8 @@
 #include "integrals/one_electron.hpp"
 #include "linalg/eigen.hpp"
 #include "linalg/gemm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "robust/audit.hpp"
 #include "robust/fault_injector.hpp"
 #include "scf/diis.hpp"
@@ -93,7 +95,9 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
                   const ScfOptions& options) {
   std::size_t nocc = 0;
   validate_inputs(mol, basis, &nocc);
-  const std::size_t nbf = basis.nbf();
+
+  MAKO_TRACE_SCOPE(obs::TraceCat::kScf, "scf.run");
+  MAKO_METRIC_COUNT("scf.runs", 1);
 
   ScfResult result;
   result.e_nuclear = mol.nuclear_repulsion();
@@ -148,6 +152,43 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
   for (int iter = 0; iter < niter; ++iter) {
     Timer iter_timer;
     ScfIterationRecord record;
+    obs::TraceSpan iter_span(obs::TraceCat::kScf, "scf.iteration");
+    if (iter_span.active()) {
+      char args[32];
+      std::snprintf(args, sizeof args, "\"iter\":%d", iter);
+      iter_span.set_args(args);
+    }
+    MAKO_METRIC_COUNT("scf.iterations", 1);
+
+    // Precision policy of the most recent Fock-build attempt; reported in
+    // the per-iteration telemetry record.
+    IterationPolicy policy;
+    FockStats fs;
+
+    // Appends the observability record mirroring `record`; called at every
+    // iteration_log push site (normal and abort paths).
+    auto append_telemetry = [&] {
+      obs::IterationTelemetry t;
+      t.iteration = iter;
+      t.energy = record.energy;
+      t.error = record.error;
+      t.seconds = record.seconds;
+      t.precision = policy.allow_quantized ? to_string(policy.quant_precision)
+                                           : "fp64";
+      t.quantized_allowed = policy.allow_quantized;
+      t.fp64_threshold = policy.fp64_threshold;
+      t.prune_threshold = policy.prune_threshold;
+      t.quartets_fp64 = fs.quartets_fp64;
+      t.quartets_quantized = fs.quartets_quantized;
+      t.quartets_pruned = fs.quartets_pruned;
+      t.eri_seconds = fs.eri_seconds;
+      t.digest_seconds = fs.digest_seconds;
+      t.ladder_rung = ladder.rung;
+      t.retries = record.retries;
+      t.domain_faults = record.domain_faults;
+      result.telemetry.push_back(t);
+      MAKO_METRIC_OBSERVE("scf.iteration_s", record.seconds);
+    };
 
     // Applies every ladder rung up to `target`, recording each activation.
     auto escalate = [&](FaultKind fault, int target,
@@ -193,17 +234,16 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
 
     // --- Fock build, with in-iteration retry on hard numeric faults -------
     MatrixD j, k;
-    FockStats fs;
     bool force_full_this_iter = ladder.full_rebuild;
     bool built_ok = false;
     for (int attempt = 0; attempt <= robust.max_retries_per_iteration;
          ++attempt) {
       // Precision policy for this attempt (QuantMako scheduling, unless the
       // precision-escalation rung latched FP64).
-      IterationPolicy policy;
       if (options.enable_quantization && !force_exact && !ladder.fp64) {
         policy = scheduler.policy_for_error(iter == 0 ? 1.0 : last_error);
       } else {
+        policy = IterationPolicy{};
         policy.allow_quantized = false;
         policy.fp64_threshold = 0.0;
         policy.prune_threshold = options.prune_threshold;
@@ -269,6 +309,7 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
                 result.status.message().c_str());
       record.seconds = iter_timer.seconds();
       result.iteration_log.push_back(record);
+      append_telemetry();
       result.iterations = iter + 1;
       aborted = true;
       break;
@@ -282,7 +323,9 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
 
     XcResult xres;
     if (grid) {
+      MAKO_TRACE_SCOPE(obs::TraceCat::kScf, "scf.xc");
       xres = integrate_xc(basis, *grid, xc, result.density);
+      MAKO_METRIC_COUNT("scf.xc_builds", 1);
     }
 
     // F = H + J - (cx/2) K + Vxc.
@@ -314,6 +357,7 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
                                      result.status.message()});
       record.seconds = iter_timer.seconds();
       result.iteration_log.push_back(record);
+      append_telemetry();
       result.iterations = iter + 1;
       aborted = true;
       break;
@@ -322,6 +366,7 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
     // DIIS extrapolation.
     MatrixD f_use = fock;
     if (options.use_diis) {
+      MAKO_TRACE_SCOPE(obs::TraceCat::kScf, "scf.diis");
       const MatrixD err = diis_error_matrix(fock, result.density, s, x);
       f_use = diis.extrapolate(fock, err);
       last_error = diis.last_error();
@@ -347,6 +392,8 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
       f_ortho -= p_occ;
     }
 
+    obs::TraceSpan diag_span(obs::TraceCat::kScf, "scf.diagonalize");
+    Timer diag_timer;
     EigenResult es;
     bool used_subspace = false;
     if (options.diagonalizer == Diagonalizer::kSubspace &&
@@ -388,6 +435,8 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
         }
       }
     }
+    diag_span.end();
+    MAKO_METRIC_OBSERVE("scf.diag_s", diag_timer.seconds());
     // Save the occupied ortho-basis block for the next level shift.
     if (es.eigenvectors.cols() >= nocc) {
       prev_y_occ.resize(es.eigenvectors.rows(), nocc, 0.0);
@@ -471,6 +520,7 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
     }
 
     result.iteration_log.push_back(record);
+    append_telemetry();
     result.iterations = iter + 1;
     result.energy = energy;
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "chem/molecule.hpp"
+#include "obs/telemetry.hpp"
 #include "quantmako/scheduler.hpp"
 #include "robust/status.hpp"
 #include "scf/fock.hpp"
@@ -111,6 +112,11 @@ struct ScfResult {
   MatrixD coefficients;
   MatrixD fock;
   std::vector<ScfIterationRecord> iteration_log;
+  /// One observability record per iteration: the precision policy actually
+  /// used, integral-class routing counts, per-stage timings, and resilience
+  /// state.  Always filled (independent of tracing being on); the CLI prints
+  /// it with --telemetry and obs::telemetry_json() serializes it.
+  std::vector<obs::IterationTelemetry> telemetry;
 
   /// Overall health: ok unless the recovery ladder was exhausted (or
   /// recovery is disabled) and the run aborted on an unrecoverable fault.

@@ -8,11 +8,12 @@ namespace mako {
 std::string StageTimings::report() const {
   std::string out;
   out += "stage                          total(s)      calls\n";
-  for (const auto& [stage, entry] : entries_) {
+  for (const std::string& stage : registry_.histogram_names()) {
+    const obs::Histogram* h = registry_.find_histogram(stage);
+    if (h == nullptr) continue;
     char line[128];
     std::snprintf(line, sizeof(line), "%-28s %10.4f %10lld\n", stage.c_str(),
-                  entry.total_seconds,
-                  static_cast<long long>(entry.calls));
+                  h->sum(), static_cast<long long>(h->count()));
     out += line;
   }
   return out;

@@ -4,8 +4,9 @@
 
 #include <chrono>
 #include <cstdint>
-#include <map>
 #include <string>
+
+#include "obs/metrics.hpp"
 
 namespace mako {
 
@@ -31,35 +32,38 @@ class Timer {
 /// Accumulates named timing sections across a run (e.g. "eri", "fock",
 /// "diagonalization") so the engine can print the per-stage breakdown that
 /// the paper's artifact reports.
+///
+/// Thin shim over obs::MetricsRegistry: each stage is a histogram whose
+/// sum/count are the old total/calls.  Unlike the original map-based
+/// accumulator, add() is safe to call concurrently from thread-pool workers.
 class StageTimings {
  public:
   void add(const std::string& stage, double seconds) {
-    auto& e = entries_[stage];
-    e.total_seconds += seconds;
-    ++e.calls;
+    registry_.histogram(stage).observe(seconds);
   }
 
   [[nodiscard]] double total(const std::string& stage) const {
-    auto it = entries_.find(stage);
-    return it == entries_.end() ? 0.0 : it->second.total_seconds;
+    const obs::Histogram* h = registry_.find_histogram(stage);
+    return h == nullptr ? 0.0 : h->sum();
   }
 
   [[nodiscard]] std::int64_t calls(const std::string& stage) const {
-    auto it = entries_.find(stage);
-    return it == entries_.end() ? 0 : it->second.calls;
+    const obs::Histogram* h = registry_.find_histogram(stage);
+    return h == nullptr ? 0 : h->count();
   }
 
   /// Render a human-readable table of all stages.
   [[nodiscard]] std::string report() const;
 
-  void clear() { entries_.clear(); }
+  void clear() { registry_.clear(); }
+
+  /// The backing registry (per-stage histograms; exposes JSON export).
+  [[nodiscard]] const obs::MetricsRegistry& registry() const {
+    return registry_;
+  }
 
  private:
-  struct Entry {
-    double total_seconds = 0.0;
-    std::int64_t calls = 0;
-  };
-  std::map<std::string, Entry> entries_;
+  obs::MetricsRegistry registry_;
 };
 
 /// RAII helper: times a scope and records it in a StageTimings on exit.
