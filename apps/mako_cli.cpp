@@ -10,6 +10,9 @@
 //                         cc-pvtz | cc-pvqz                  [sto-3g]
 //   --xc <name>           hf | lda | blyp | b3lyp            [hf]
 //   --engine <name>       mako | reference                   [mako]
+//   --backend <name>      GEMM backend: reference | blocked |
+//                         blocked+quantized (or any registered name;
+//                         default: $MAKO_BACKEND, else blocked+quantized)
 //   --quantize            enable QuantMako scheduling
 //   --autotune            enable CompilerMako kernel tuning
 //   --iterations <n>      fixed SCF iteration count (benchmark mode)
@@ -43,7 +46,8 @@ namespace {
 void print_usage() {
   std::printf(
       "usage: mako --mol <file.xyz> [--basis NAME] [--xc NAME]\n"
-      "            [--engine mako|reference] [--quantize] [--autotune]\n"
+      "            [--engine mako|reference] [--backend NAME] [--quantize]\n"
+      "            [--autotune]\n"
       "            [--iterations N] [--max-iterations N] [--convergence EPS]\n"
       "            [--grid coarse|standard|fine] [--charge Q] [--verbose]\n"
       "            [--trace-out PATH] [--trace-all] [--metrics-json PATH]\n"
@@ -86,6 +90,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "mako: unknown engine '%s'\n", engine.c_str());
         return 2;
       }
+    } else if (arg == "--backend") {
+      options.backend = next("--backend");
     } else if (arg == "--quantize") {
       options.quantization = true;
     } else if (arg == "--autotune") {

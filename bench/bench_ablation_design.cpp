@@ -11,7 +11,7 @@
 #include "accel/tile_buffer.hpp"
 #include "compilermako/autotuner.hpp"
 #include "kernelmako/batched_eri.hpp"
-#include "linalg/gemm.hpp"
+#include "linalg/backend.hpp"
 #include "parallel/simcomm.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -55,6 +55,8 @@ void ablate_swizzle() {
 
 void ablate_ilp() {
   std::printf("[Ablation 7] Implicit-ILP factor sweep (256^3 FP64 GEMM)\n");
+  const GemmBackend& be =
+      resolve_gemm_backend(GemmBackendRegistry::kDefaultName);
   const std::size_t n = 256;
   Rng rng(5);
   std::vector<double> a(n * n), b(n * n), c(n * n);
@@ -65,11 +67,13 @@ void ablate_ilp() {
   for (int ilp : {1, 2, 4, 8, 16, 32}) {
     GemmConfig cfg;
     cfg.ilp = ilp;
-    gemm_fp64(a.data(), b.data(), c.data(), n, n, n, 1.0, 0.0, cfg);
+    be.fp64(a.data(), false, b.data(), false, c.data(), n, n, n, 1.0, 0.0,
+            cfg);
     Timer t;
     const int reps = 4;
     for (int r = 0; r < reps; ++r) {
-      gemm_fp64(a.data(), b.data(), c.data(), n, n, n, 1.0, 0.0, cfg);
+      be.fp64(a.data(), false, b.data(), false, c.data(), n, n, n, 1.0, 0.0,
+              cfg);
     }
     std::printf("  %4d %12.2f\n", ilp,
                 reps * gemm_flops(n, n, n) / t.seconds() / 1e9);

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "accel/device.hpp"
-#include "linalg/gemm.hpp"
+#include "linalg/backend.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -18,6 +18,8 @@ namespace {
 
 double measure_gflops(mako::Precision precision) {
   using namespace mako;
+  const GemmBackend& be =
+      resolve_gemm_backend(GemmBackendRegistry::kDefaultName);
   const std::size_t n = 192;
   Rng rng(1);
   std::vector<double> a(n * n), b(n * n), c(n * n, 0.0);
@@ -29,11 +31,11 @@ double measure_gflops(mako::Precision precision) {
   cfg.ilp = 8;
 
   // Warm up, then time a few repetitions.
-  gemm_quantized(a.data(), b.data(), c.data(), n, n, n, 1.0, 0.0, cfg);
+  be.quantized(a.data(), b.data(), c.data(), n, n, n, 1.0, 0.0, cfg);
   const int reps = 6;
   Timer t;
   for (int r = 0; r < reps; ++r) {
-    gemm_quantized(a.data(), b.data(), c.data(), n, n, n, 1.0, 0.0, cfg);
+    be.quantized(a.data(), b.data(), c.data(), n, n, n, 1.0, 0.0, cfg);
   }
   const double seconds = t.seconds() / reps;
   return gemm_flops(n, n, n) / seconds / 1e9;

@@ -5,6 +5,11 @@
 #   OUT_DIR    where BENCH_fig6.json / BENCH_fig8.json go (default: bench)
 #   FIG8_SIZE  system-size sweep argument for fig8        (default: 2)
 #
+# Usage: run_benchmarks.sh [--backend NAME | --backend=NAME]
+#   --backend selects the GEMM backend: fig6 gets --backend=NAME directly,
+#   fig8 inherits it through MAKO_BACKEND.  "all" sweeps every registered
+#   backend in fig6 (fig8 stays on the default).
+#
 # The script (re)builds the two bench targets, runs them, and writes
 # BENCH_fig6.json and BENCH_fig8.json into OUT_DIR.  Human-readable tables
 # still go to stdout.
@@ -15,6 +20,15 @@ BUILD_DIR="${BUILD_DIR:-build}"
 OUT_DIR="${OUT_DIR:-bench}"
 FIG8_SIZE="${FIG8_SIZE:-2}"
 
+BACKEND=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --backend)   BACKEND="$2"; shift 2 ;;
+    --backend=*) BACKEND="${1#--backend=}"; shift ;;
+    *) echo "run_benchmarks.sh: unknown option '$1'" >&2; exit 2 ;;
+  esac
+done
+
 if [ ! -d "${BUILD_DIR}" ]; then
   cmake -B "${BUILD_DIR}" -S .
 fi
@@ -22,8 +36,16 @@ cmake --build "${BUILD_DIR}" -j --target bench_fig6_eri_micro bench_fig8_end2end
 
 mkdir -p "${OUT_DIR}"
 
+FIG6_ARGS=("--json=${OUT_DIR}/BENCH_fig6.json")
+if [ "${BACKEND}" = "all" ]; then
+  FIG6_ARGS+=("--backends=all")
+elif [ -n "${BACKEND}" ]; then
+  FIG6_ARGS+=("--backend=${BACKEND}")
+  export MAKO_BACKEND="${BACKEND}"
+fi
+
 echo "== Figure 6: ERI kernel microbenchmark =="
-"${BUILD_DIR}/bench/bench_fig6_eri_micro" "--json=${OUT_DIR}/BENCH_fig6.json"
+"${BUILD_DIR}/bench/bench_fig6_eri_micro" "${FIG6_ARGS[@]}"
 
 echo
 echo "== Figure 8: end-to-end SCF iteration time =="

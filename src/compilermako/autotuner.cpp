@@ -34,6 +34,14 @@ Shell make_calibration_shell(int l, int nprim, const Vec3& center, Rng& rng) {
 
 }  // namespace
 
+Autotuner::Autotuner(DeviceSpec device, TunerOptions options,
+                     const GemmBackend* backend)
+    : device_(std::move(device)),
+      options_(std::move(options)),
+      backend_(backend ? backend
+                       : &resolve_gemm_backend(
+                             GemmBackendRegistry::kDefaultName)) {}
+
 CalibrationBatch make_calibration_batch(const EriClassKey& key,
                                         std::size_t num_quartets,
                                         unsigned seed) {
@@ -63,7 +71,7 @@ CalibrationBatch make_calibration_batch(const EriClassKey& key,
 
 const TunedKernel& Autotuner::tune(const EriClassKey& key,
                                    Precision precision) {
-  const CacheKey cache_key{key, precision};
+  const CacheKey cache_key{backend_->name(), key, precision};
   auto it = cache_.find(cache_key);
   if (it != cache_.end()) return it->second;
 
@@ -90,7 +98,7 @@ const TunedKernel& Autotuner::tune(const EriClassKey& key,
 
         for (int ilp : options_.ilp_factors) {
           config.gemm.ilp = ilp;
-          BatchedEriEngine engine(config);
+          BatchedEriEngine engine(config, backend_);
           double seconds = std::numeric_limits<double>::infinity();
           for (int rep = 0; rep < options_.profile_repeats; ++rep) {
             Timer t;
@@ -108,8 +116,9 @@ const TunedKernel& Autotuner::tune(const EriClassKey& key,
     }
   }
 
-  log_debug("autotuner: %s %s -> tile(%d,%d,%d) ilp=%d %s (%.3f ms, %d cands)",
-            key.name().c_str(), to_string(precision),
+  log_debug("autotuner[%s]: %s %s -> tile(%d,%d,%d) ilp=%d %s "
+            "(%.3f ms, %d cands)",
+            backend_->name().c_str(), key.name().c_str(), to_string(precision),
             best.config.gemm.tile_m, best.config.gemm.tile_n,
             best.config.gemm.tile_k, best.config.gemm.ilp,
             to_string(best.plan.strategy), best.measured_seconds * 1e3,
@@ -120,17 +129,19 @@ const TunedKernel& Autotuner::tune(const EriClassKey& key,
 
 std::optional<TunedKernel> Autotuner::lookup(const EriClassKey& key,
                                              Precision precision) const {
-  auto it = cache_.find({key, precision});
+  auto it = cache_.find(CacheKey{backend_->name(), key, precision});
   if (it == cache_.end()) return std::nullopt;
   return it->second;
 }
 
 std::string Autotuner::serialize_cache() const {
   std::ostringstream out;
+  out << "# mako-autotuner-cache v2\n";
   for (const auto& [key, tuned] : cache_) {
-    const EriClassKey& k = key.first;
-    out << k.la << ' ' << k.lb << ' ' << k.lc << ' ' << k.ld << ' ' << k.kab
-        << ' ' << k.kcd << ' ' << static_cast<int>(key.second) << ' '
+    const EriClassKey& k = std::get<1>(key);
+    out << std::get<0>(key) << ' ' << k.la << ' ' << k.lb << ' ' << k.lc
+        << ' ' << k.ld << ' ' << k.kab << ' ' << k.kcd << ' '
+        << static_cast<int>(std::get<2>(key)) << ' '
         << tuned.config.gemm.tile_m << ' ' << tuned.config.gemm.tile_n << ' '
         << tuned.config.gemm.tile_k << ' ' << tuned.config.gemm.ilp << ' '
         << tuned.config.fuse_gemms << ' ' << tuned.config.use_swizzle << ' '
@@ -143,12 +154,26 @@ void Autotuner::load_cache(const std::string& text) {
   std::istringstream in(text);
   std::string line;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
+    if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;
+    // v2 records lead with the backend name; v1 records lead with the (all-
+    // digit) `la` field and are attributed to this tuner's backend.
+    std::string backend_name;
     EriClassKey k;
+    const bool v1 =
+        first.find_first_not_of("0123456789") == std::string::npos;
+    if (v1) {
+      backend_name = backend_->name();
+      k.la = std::stoi(first);
+    } else {
+      backend_name = first;
+      if (!(ls >> k.la)) continue;
+    }
     int prec, fuse, swizzle;
     TunedKernel tuned;
-    if (!(ls >> k.la >> k.lb >> k.lc >> k.ld >> k.kab >> k.kcd >> prec >>
+    if (!(ls >> k.lb >> k.lc >> k.ld >> k.kab >> k.kcd >> prec >>
           tuned.config.gemm.tile_m >> tuned.config.gemm.tile_n >>
           tuned.config.gemm.tile_k >> tuned.config.gemm.ilp >> fuse >>
           swizzle >> tuned.measured_seconds)) {
@@ -158,7 +183,8 @@ void Autotuner::load_cache(const std::string& text) {
     tuned.config.fuse_gemms = fuse != 0;
     tuned.config.use_swizzle = swizzle != 0;
     tuned.plan = plan_fusion(k, tuned.config.gemm, device_);
-    cache_[{k, static_cast<Precision>(prec)}] = tuned;
+    cache_[CacheKey{std::move(backend_name), k,
+                    static_cast<Precision>(prec)}] = tuned;
   }
 }
 

@@ -6,12 +6,15 @@
 // {1..32} — profiling each candidate on a calibration batch and keeping the
 // fastest.  Threadblock (tile) choices interact with fusion feasibility, so
 // Reuse-Guided Planning re-runs inside the loop exactly as Algorithm 2
-// specifies.  Results are cached per (class, precision, device).
+// specifies.  Results are cached per (backend, class, precision) for one
+// device: tuning profiles real kernel dispatches, so a configuration tuned
+// for one GemmBackend is meaningless for another.
 #pragma once
 
 #include <map>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "accel/device.hpp"
@@ -42,9 +45,13 @@ struct TunerOptions {
 /// Architecture-tuned kernel compiler/tuner with a per-device cache.
 class Autotuner {
  public:
+  /// `backend` is the GEMM backend candidates are profiled against (and the
+  /// cache-key dimension); null pins the registry default, matching
+  /// BatchedEriEngine's resolution so tuning stays deterministic under
+  /// MAKO_BACKEND overrides.
   explicit Autotuner(DeviceSpec device = DeviceSpec::a100(),
-                     TunerOptions options = {})
-      : device_(std::move(device)), options_(std::move(options)) {}
+                     TunerOptions options = {},
+                     const GemmBackend* backend = nullptr);
 
   /// Runs Algorithm 2 for the class at the precision, profiling on a
   /// synthetic calibration batch.  Cached per (class, precision).
@@ -55,20 +62,30 @@ class Autotuner {
                                                   Precision precision) const;
 
   [[nodiscard]] const DeviceSpec& device() const noexcept { return device_; }
+  /// The backend tuned configurations are valid for.
+  [[nodiscard]] const GemmBackend& backend() const noexcept {
+    return *backend_;
+  }
   [[nodiscard]] std::size_t cache_size() const noexcept {
     return cache_.size();
   }
 
   /// Serializes / restores the tuning cache (plain text), the analogue of
-  /// shipping pre-tuned kernel configurations with the library.
+  /// shipping pre-tuned kernel configurations with the library.  Format v2:
+  /// `# mako-autotuner-cache v2` header, one `<backend> <class> <precision>
+  /// <config> <seconds>` record per line.  load_cache also accepts the
+  /// backend-less v1 records (attributed to this tuner's backend) and skips
+  /// comments and malformed lines.
   [[nodiscard]] std::string serialize_cache() const;
   void load_cache(const std::string& text);
 
  private:
-  using CacheKey = std::pair<EriClassKey, Precision>;
+  /// (backend name, class, precision) — tuned configs never cross backends.
+  using CacheKey = std::tuple<std::string, EriClassKey, Precision>;
 
   DeviceSpec device_;
   TunerOptions options_;
+  const GemmBackend* backend_;  ///< never null
   std::map<CacheKey, TunedKernel> cache_;
 };
 

@@ -36,12 +36,16 @@ std::vector<EriClassKey> enumerate_eri_classes(const BasisSet& basis) {
   return {classes.begin(), classes.end()};
 }
 
-std::size_t prewarm_class_plans(const BasisSet& basis) {
+std::size_t prewarm_class_plans(const BasisSet& basis, EriPlanCache& cache) {
   const std::vector<EriClassKey> classes = enumerate_eri_classes(basis);
   for (const EriClassKey& key : classes) {
-    (void)EriClassPlan::get(key);
+    (void)cache.get(key);
   }
   return classes.size();
+}
+
+std::size_t prewarm_class_plans(const BasisSet& basis) {
+  return prewarm_class_plans(basis, EriPlanCache::process());
 }
 
 }  // namespace mako

@@ -14,10 +14,15 @@ namespace mako {
 /// all shell quartets of the basis.  Sorted ascending.
 std::vector<EriClassKey> enumerate_eri_classes(const BasisSet& basis);
 
+class EriPlanCache;
+
 /// CompilerMako's static planning pass: constructs and caches an
-/// EriClassPlan for every ERI class the basis generates, so the first Fock
-/// build starts with a warm plan registry and the hot path never builds
-/// class tables.  Returns the number of classes planned.
+/// EriClassPlan for every ERI class the basis generates in `cache`, so the
+/// first Fock build starts with a warm plan registry and the hot path never
+/// builds class tables.  Returns the number of classes planned.
+std::size_t prewarm_class_plans(const BasisSet& basis, EriPlanCache& cache);
+
+/// Convenience overload that warms the process-wide EriPlanCache.
 std::size_t prewarm_class_plans(const BasisSet& basis);
 
 /// Distinct bra/ket shell-pair classes (l1, l2, K) — the building blocks.

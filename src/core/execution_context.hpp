@@ -1,0 +1,134 @@
+// ExecutionContext — the single ownership point for everything a compute
+// path needs besides its chemistry inputs.
+//
+// Before this layer existed, the device model, thread pool, plan cache,
+// precision policy, GEMM kernels, fault hooks, and observability sinks were
+// threaded ad hoc: some as per-call parameters, some as process singletons
+// looked up at every site.  That blocked the ROADMAP's multi-backend /
+// multi-rank north star — a second device or a second backend had nowhere to
+// live.  ExecutionContext gathers them into one object constructed once by
+// MakoEngine (or by a test) and passed by reference through batched_eri,
+// fock, scf, diis, xc, and simcomm.
+//
+// Ownership graph (see DESIGN.md, "Execution layer"):
+//
+//   MakoEngine ──owns──> ExecutionContext
+//                          ├─ backend   -> GemmBackend        (registry-owned)
+//                          ├─ device    -> DeviceSpec         (by value)
+//                          ├─ pool      -> ThreadPool         (borrowed;
+//                          │                global by default)
+//                          ├─ plans     -> EriPlanCache       (borrowed;
+//                          │                process-wide by default)
+//                          ├─ scheduler -> SchedulerConfig    (by value)
+//                          ├─ faults    -> FaultInjector      (process-wide)
+//                          ├─ metrics   -> obs::MetricsRegistry (process-wide)
+//                          └─ tracer    -> obs::Tracer        (process-wide)
+//
+// The context is immutable after construction and cheap to pass by const
+// reference; all referenced subsystems are individually thread-safe, so a
+// single context may be shared by every worker of a run.
+#pragma once
+
+#include <string>
+
+#include "accel/device.hpp"
+#include "kernelmako/class_plan.hpp"
+#include "linalg/backend.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/simcomm.hpp"
+#include "parallel/thread_pool.hpp"
+#include "quantmako/scheduler.hpp"
+#include "robust/fault_injector.hpp"
+
+namespace mako {
+
+/// Everything configurable about an ExecutionContext.  Defaults reproduce
+/// the pre-context behavior: process-wide pool/plan-cache, the default (or
+/// MAKO_BACKEND-selected) GEMM backend, quantization off.
+struct ExecutionContextOptions {
+  /// GEMM backend name; "" resolves MAKO_BACKEND, then the built-in default.
+  /// Unknown names throw InputError from the constructor.
+  std::string backend;
+  DeviceSpec device = DeviceSpec::a100();
+  /// QuantMako iteration-level schedule parameters.
+  SchedulerConfig scheduler{};
+  /// Master switch for QuantMako scheduling (MakoOptions::quantization).
+  bool enable_quantization = false;
+  /// Worker pool; nullptr borrows ThreadPool::global().
+  ThreadPool* pool = nullptr;
+  /// ERI plan cache; nullptr borrows the process-wide EriPlanCache.
+  EriPlanCache* plans = nullptr;
+  /// Publish this context's backend as the process-wide active backend so
+  /// ambient matmul()/gemm() wrappers (eigen, DIIS extrapolation) route
+  /// through it too.  Tests that juggle several contexts can opt out.
+  bool make_active = true;
+};
+
+/// Immutable execution environment of one Mako run.
+class ExecutionContext {
+ public:
+  explicit ExecutionContext(ExecutionContextOptions options = {});
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  /// Default process-wide context for entry points not reached through a
+  /// MakoEngine (bare run_scf calls in tests, benches).  Built on first use
+  /// with default options except make_active=false — it never overrides a
+  /// backend selection made by an engine-owned context.
+  static const ExecutionContext& process();
+
+  /// The GEMM backend every matmul of this run dispatches through.
+  [[nodiscard]] const GemmBackend& backend() const noexcept {
+    return *backend_;
+  }
+  [[nodiscard]] const DeviceSpec& device() const noexcept { return device_; }
+  [[nodiscard]] ThreadPool& pool() const noexcept { return *pool_; }
+  [[nodiscard]] EriPlanCache& plans() const noexcept { return *plans_; }
+
+  [[nodiscard]] const SchedulerConfig& scheduler_config() const noexcept {
+    return scheduler_;
+  }
+  [[nodiscard]] bool quantization_enabled() const noexcept {
+    return enable_quantization_;
+  }
+  /// True when quantized kernels may actually run: quantization is enabled
+  /// AND the backend has a reduced-precision datapath.  On backends without
+  /// the capability the scheduler must not route quantized work (it would
+  /// silently execute at FP64 and waste the pruning-threshold slack).
+  [[nodiscard]] bool quantized_execution_allowed() const noexcept {
+    return enable_quantization_ && backend_->capabilities().quantized;
+  }
+  /// Per-iteration precision scheduler over this context's config.
+  [[nodiscard]] ConvergenceAwareScheduler make_scheduler() const {
+    return ConvergenceAwareScheduler(scheduler_);
+  }
+
+  /// Fault-injection hooks (process-wide registry; sites fire only when a
+  /// test armed them and MAKO_FAULT_INJECTION is compiled in).
+  [[nodiscard]] FaultInjector& faults() const noexcept { return *faults_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() const noexcept {
+    return *metrics_;
+  }
+  [[nodiscard]] obs::Tracer& tracer() const noexcept { return *tracer_; }
+
+  /// Simulated communicator over `size` ranks, wired to this context's
+  /// fault hooks (SimComm reads the process registry internally today; the
+  /// factory is the seam where a per-context injector would plug in).
+  [[nodiscard]] SimComm make_comm(int size, ClusterModel cluster = {},
+                                  CommRetryPolicy retry = {}) const;
+
+ private:
+  const GemmBackend* backend_;  ///< registry-owned, never null
+  DeviceSpec device_;
+  SchedulerConfig scheduler_;
+  bool enable_quantization_;
+  ThreadPool* pool_;      ///< borrowed, never null
+  EriPlanCache* plans_;   ///< borrowed, never null
+  FaultInjector* faults_;
+  obs::MetricsRegistry* metrics_;
+  obs::Tracer* tracer_;
+};
+
+}  // namespace mako

@@ -17,6 +17,9 @@ std::string MakoReport::summary() const {
   out << "== Mako run report ==\n";
   out << "basis functions:        " << nbf << " (" << num_shells
       << " shells)\n";
+  if (!backend.empty()) {
+    out << "GEMM backend:           " << backend << "\n";
+  }
   out << "SCF iterations:         " << scf.iterations
       << (scf.converged ? " (converged)" : " (NOT converged)") << "\n";
   out << "Total Energy:           " << scf.energy << " Eh\n";
@@ -37,7 +40,11 @@ std::string MakoReport::summary() const {
 
 MakoEngine::MakoEngine(MakoOptions options)
     : options_(std::move(options)),
-      tuner_(options_.device, options_.tuner) {}
+      context_(ExecutionContextOptions{
+          .backend = options_.backend,
+          .device = options_.device,
+          .enable_quantization = options_.quantization}),
+      tuner_(options_.device, options_.tuner, &context_.backend()) {}
 
 ScfOptions MakoEngine::make_scf_options() const {
   ScfOptions scf;
@@ -73,6 +80,7 @@ MakoReport MakoEngine::compute_energy(const Molecule& mol) {
   MAKO_TRACE_SCOPE(obs::TraceCat::kApp, "mako.compute_energy");
   Timer total;
   MakoReport report;
+  report.backend = context_.backend().name();
 
   if (options_.autotune) {
     report.classes_tuned = tune_for(mol);
@@ -86,7 +94,7 @@ MakoReport MakoEngine::compute_energy(const Molecule& mol) {
   if (options_.autotune) {
     scf_options.fock.tuner = &tuner_;
   }
-  report.scf = run_scf(mol, basis, scf_options);
+  report.scf = run_scf(mol, basis, scf_options, &context_);
   report.total_seconds = total.seconds();
   return report;
 }

@@ -17,6 +17,7 @@
 #include "accel/device.hpp"
 #include "chem/molecule.hpp"
 #include "compilermako/autotuner.hpp"
+#include "core/execution_context.hpp"
 #include "scf/scf.hpp"
 
 namespace mako {
@@ -26,6 +27,9 @@ struct MakoOptions {
   std::string basis = "sto-3g";
   std::string functional = "hf";   ///< "hf", "lda", "blyp", "b3lyp"
   EriEngineKind engine = EriEngineKind::kMako;
+  /// GEMM backend name ("reference", "blocked", "blocked+quantized");
+  /// "" resolves MAKO_BACKEND, then the built-in default.
+  std::string backend;
   bool quantization = false;       ///< QuantMako scheduling
   bool autotune = false;           ///< CompilerMako per-class tuning
   GridSpec grid = GridSpec::coarse();
@@ -44,6 +48,7 @@ struct MakoReport {
   std::size_t nbf = 0;
   std::size_t num_shells = 0;
   int classes_tuned = 0;
+  std::string backend;  ///< GEMM backend the run executed on
 
   /// Artifact-style text report (energies + the two timing metrics).
   [[nodiscard]] std::string summary() const;
@@ -65,11 +70,17 @@ class MakoEngine {
     return options_;
   }
   [[nodiscard]] Autotuner& tuner() noexcept { return tuner_; }
+  /// The execution environment every compute path of this engine runs in
+  /// (GEMM backend, device, thread pool, plan cache, fault hooks).
+  [[nodiscard]] const ExecutionContext& context() const noexcept {
+    return context_;
+  }
 
  private:
   ScfOptions make_scf_options() const;
 
   MakoOptions options_;
+  ExecutionContext context_;  ///< before tuner_: the tuner profiles on it
   Autotuner tuner_;
 };
 

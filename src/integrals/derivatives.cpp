@@ -5,7 +5,7 @@
 #include "basis/spherical.hpp"
 #include "integrals/eri_reference.hpp"
 #include "integrals/one_electron.hpp"
-#include "linalg/gemm.hpp"
+#include "linalg/backend.hpp"
 
 namespace mako {
 namespace {

@@ -5,7 +5,7 @@
 
 #include "basis/spherical.hpp"
 #include "integrals/hermite.hpp"
-#include "linalg/gemm.hpp"
+#include "linalg/backend.hpp"
 
 namespace mako {
 namespace {
@@ -24,13 +24,13 @@ void quartet_cart_to_sph(int la, int lb, int lc, int ld,
   const std::size_t nsab = kab.rows();
   const std::size_t nscd = kcd.rows();
 
+  const GemmBackend& be = GemmBackendRegistry::instance().active();
   // tmp = K_ab * cart : [nsab x nccd]
   std::vector<double> tmp(nsab * nccd, 0.0);
-  gemm_fp64(kab.data(), cart.data(), tmp.data(), nsab, nccd, ncab);
+  be.fp64(kab.data(), false, cart.data(), false, tmp.data(), nsab, nccd, ncab);
   // sph = tmp * K_cd^T : [nsab x nscd]
-  const MatrixD kcdt = kcd.transposed();
   sph.assign(nsab * nscd, 0.0);
-  gemm_fp64(tmp.data(), kcdt.data(), sph.data(), nsab, nscd, nccd);
+  be.fp64(tmp.data(), false, kcd.data(), true, sph.data(), nsab, nscd, nccd);
 }
 
 void ReferenceEriEngine::compute_cartesian(const Shell& a, const Shell& b,

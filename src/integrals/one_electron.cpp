@@ -4,7 +4,7 @@
 
 #include "basis/spherical.hpp"
 #include "integrals/hermite.hpp"
-#include "linalg/gemm.hpp"
+#include "linalg/backend.hpp"
 
 namespace mako {
 namespace {

@@ -92,11 +92,19 @@ EriClassKey BatchedEriEngine::classify(const QuartetRef& q) {
   return key;
 }
 
+const GemmBackend& BatchedEriEngine::backend() const {
+  return backend_ != nullptr
+             ? *backend_
+             : resolve_gemm_backend(GemmBackendRegistry::kDefaultName);
+}
+
 BatchStats BatchedEriEngine::compute_batch(
     const EriClassKey& key, std::span<const QuartetRef> batch,
     std::vector<std::vector<double>>& out) const {
   static thread_local EriScratch scratch;
-  return compute_batch(EriClassPlan::get(key), batch, out, scratch);
+  EriPlanCache& plans =
+      plans_ != nullptr ? *plans_ : EriPlanCache::process();
+  return compute_batch(plans.get(key), batch, out, scratch);
 }
 
 BatchStats BatchedEriEngine::compute_batch(
@@ -175,7 +183,10 @@ BatchStats BatchedEriEngine::compute_batch(
   // --- Group scaling for quantized execution (Section 3.2.1) ----------------
   // Scales are per class & per operand group; dequantization happens at the
   // FP32->FP64 widening of each GEMM (dual-stage accumulation).
-  const bool quant = config_.quantized();
+  // Quantized execution needs the backend's reduced-precision datapath; on a
+  // backend without it every transform GEMM runs exact FP64 instead.
+  const GemmBackend& be = backend();
+  const bool quant = config_.quantized() && be.capabilities().quantized;
   double s_bra = 1.0, s_ket = 1.0;
   if (quant && config_.group_scaling) {
     const double m_bra = max_abs(scratch.bra_e.data(), scratch.bra_e.size());
@@ -236,16 +247,16 @@ BatchStats BatchedEriEngine::compute_batch(
                        double* c, double alpha) {
     const double* ea = scratch.bra_e.data() + (q * kab + jp) * e_bra_sz;
     if (naive_fp16) {
-      gemm_fp16_naive(ea, pq, c, ncb, nhk, nhb, alpha, 1.0, /*trans_a=*/true);
+      be.fp16_baseline(ea, pq, c, ncb, nhk, nhb, alpha, 1.0, /*trans_a=*/true);
     } else if (quant) {
       quantize_to_float(pq, scratch.q_dyn.data(),
                         static_cast<std::size_t>(nhb) * nhk, gc.precision);
-      gemm_quantized_ops(scratch.q_bra.data() + (q * kab + jp) * e_bra_sz,
-                         /*trans_a=*/true, scratch.q_dyn.data(), false, c, ncb,
-                         nhk, nhb, alpha, 1.0, gc);
+      be.mixed(scratch.q_bra.data() + (q * kab + jp) * e_bra_sz,
+               /*trans_a=*/true, scratch.q_dyn.data(), false, c, ncb, nhk, nhb,
+               alpha, 1.0, gc);
     } else {
-      gemm_fp64_ex(ea, /*trans_a=*/true, pq, false, c, ncb, nhk, nhb, alpha,
-                   1.0, gc);
+      be.fp64(ea, /*trans_a=*/true, pq, false, c, ncb, nhk, nhb, alpha, 1.0,
+              gc);
     }
     stats.gemm_flops += gemm_flops(ncb, nhk, nhb);
   };
@@ -255,16 +266,15 @@ BatchStats BatchedEriEngine::compute_batch(
                        double* c, double alpha) {
     const double* ek = scratch.ket_e.data() + (q * kcd + kp) * e_ket_sz;
     if (naive_fp16) {
-      gemm_fp16_naive(abq_slice, ek, c, ncb, nck, nhk, alpha, 1.0);
+      be.fp16_baseline(abq_slice, ek, c, ncb, nck, nhk, alpha, 1.0);
     } else if (quant) {
       quantize_to_float(abq_slice, scratch.q_dyn.data(), abq_stride,
                         gc.precision);
-      gemm_quantized_ops(scratch.q_dyn.data(), false,
-                         scratch.q_ket.data() + (q * kcd + kp) * e_ket_sz,
-                         false, c, ncb, nck, nhk, alpha, 1.0, gc);
+      be.mixed(scratch.q_dyn.data(), false,
+               scratch.q_ket.data() + (q * kcd + kp) * e_ket_sz, false, c, ncb,
+               nck, nhk, alpha, 1.0, gc);
     } else {
-      gemm_fp64_ex(abq_slice, false, ek, false, c, ncb, nck, nhk, alpha, 1.0,
-                   gc);
+      be.fp64(abq_slice, false, ek, false, c, ncb, nck, nhk, alpha, 1.0, gc);
     }
     stats.gemm_flops += gemm_flops(ncb, nck, nhk);
   };
@@ -386,10 +396,11 @@ BatchStats BatchedEriEngine::compute_batch(
   scratch.sph_tmp.resize(static_cast<std::size_t>(nsb) * nck);
   for (std::size_t q = 0; q < nq; ++q) {
     out[q].assign(static_cast<std::size_t>(nsb) * nsk, 0.0);
-    gemm_fp64(plan.sph_bra->data(), scratch.cart.data() + q * cart_stride,
-              scratch.sph_tmp.data(), nsb, nck, ncb, 1.0, 0.0, gc);
-    gemm_fp64_ex(scratch.sph_tmp.data(), false, plan.sph_ket->data(),
-                 /*trans_b=*/true, out[q].data(), nsb, nsk, nck, 1.0, 0.0, gc);
+    be.fp64(plan.sph_bra->data(), false,
+            scratch.cart.data() + q * cart_stride, false,
+            scratch.sph_tmp.data(), nsb, nck, ncb, 1.0, 0.0, gc);
+    be.fp64(scratch.sph_tmp.data(), false, plan.sph_ket->data(),
+            /*trans_b=*/true, out[q].data(), nsb, nsk, nck, 1.0, 0.0, gc);
     stats.gemm_flops += gemm_flops(nsb, nck, ncb) + gemm_flops(nsb, nsk, nck);
   }
   stats.kernel_launches += 2;

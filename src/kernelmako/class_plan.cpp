@@ -41,30 +41,31 @@ EriClassPlan::EriClassPlan(const EriClassKey& key) : key_(key) {
   sph_ket = &cart_to_sph_pair(key.lc, key.ld);
 }
 
-namespace {
-std::mutex& plan_mutex() {
-  static std::mutex m;
-  return m;
+EriPlanCache& EriPlanCache::process() {
+  static EriPlanCache* cache = new EriPlanCache();  // leaky: plans outlive all
+  return *cache;
 }
-std::map<EriClassKey, std::unique_ptr<EriClassPlan>>& plan_cache() {
-  static std::map<EriClassKey, std::unique_ptr<EriClassPlan>> cache;
-  return cache;
-}
-}  // namespace
 
-const EriClassPlan& EriClassPlan::get(const EriClassKey& key) {
-  std::lock_guard<std::mutex> lock(plan_mutex());
-  auto& cache = plan_cache();
-  auto it = cache.find(key);
-  if (it == cache.end()) {
-    it = cache.emplace(key, std::make_unique<EriClassPlan>(key)).first;
+const EriClassPlan& EriPlanCache::get(const EriClassKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = plans_.find(key);
+  if (it == plans_.end()) {
+    it = plans_.emplace(key, std::make_unique<EriClassPlan>(key)).first;
   }
   return *it->second;
 }
 
+std::size_t EriPlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plans_.size();
+}
+
+const EriClassPlan& EriClassPlan::get(const EriClassKey& key) {
+  return EriPlanCache::process().get(key);
+}
+
 std::size_t EriClassPlan::cache_size() {
-  std::lock_guard<std::mutex> lock(plan_mutex());
-  return plan_cache().size();
+  return EriPlanCache::process().size();
 }
 
 }  // namespace mako

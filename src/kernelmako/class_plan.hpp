@@ -15,6 +15,9 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "integrals/hermite.hpp"
@@ -28,11 +31,10 @@ class EriClassPlan {
  public:
   explicit EriClassPlan(const EriClassKey& key);
 
-  /// Process-wide plan cache (never evicted; plans are small).  Thread-safe;
-  /// lookups after first construction are allocation-free.
+  /// Shorthand for EriPlanCache::process().get(key) — the process-wide cache.
   static const EriClassPlan& get(const EriClassKey& key);
 
-  /// Number of distinct plans currently cached.
+  /// Number of distinct plans in the process-wide cache.
   static std::size_t cache_size();
 
   [[nodiscard]] const EriClassKey& key() const noexcept { return key_; }
@@ -61,6 +63,31 @@ class EriClassPlan {
 
  private:
   EriClassKey key_;
+};
+
+/// Cache of EriClassPlan instances, keyed by ERI class.  Plans are built on
+/// first lookup, never evicted (they are small and class-static), and handed
+/// out by stable reference.  Thread-safe; lookups after first construction
+/// are allocation-free.
+///
+/// ExecutionContext owns the cache used by a run (normally the process-wide
+/// instance so tuned plans are shared across engines); isolated instances
+/// exist for tests that need cache-size determinism.
+class EriPlanCache {
+ public:
+  EriPlanCache() = default;
+  EriPlanCache(const EriPlanCache&) = delete;
+  EriPlanCache& operator=(const EriPlanCache&) = delete;
+
+  /// The process-wide cache (leaky singleton).
+  static EriPlanCache& process();
+
+  const EriClassPlan& get(const EriClassKey& key);
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<EriClassKey, std::unique_ptr<EriClassPlan>> plans_;
 };
 
 /// Reusable working-buffer arena for one thread's batch executions.  Buffers

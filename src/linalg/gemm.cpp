@@ -470,31 +470,4 @@ void gemm_fp16_naive(const double* a, const double* b, double* c,
   }
 }
 
-void gemm(const MatrixD& a, Trans ta, const MatrixD& b, Trans tb, MatrixD& c,
-          double alpha, double beta) {
-  const std::size_t m = (ta == Trans::kYes) ? a.cols() : a.rows();
-  const std::size_t ka = (ta == Trans::kYes) ? a.rows() : a.cols();
-  const std::size_t kb = (tb == Trans::kYes) ? b.cols() : b.rows();
-  const std::size_t n = (tb == Trans::kYes) ? b.rows() : b.cols();
-  assert(ka == kb);
-  (void)kb;
-  if (c.rows() != m || c.cols() != n) {
-    c.resize(m, n);
-  }
-  gemm_fp64_ex(a.data(), ta == Trans::kYes, b.data(), tb == Trans::kYes,
-               c.data(), m, n, ka, alpha, beta);
-}
-
-MatrixD matmul(const MatrixD& a, const MatrixD& b) {
-  MatrixD c(a.rows(), b.cols());
-  gemm(a, Trans::kNo, b, Trans::kNo, c);
-  return c;
-}
-
-MatrixD matmul(const MatrixD& a, Trans ta, const MatrixD& b, Trans tb) {
-  MatrixD c;
-  gemm(a, ta, b, tb, c);
-  return c;
-}
-
 }  // namespace mako

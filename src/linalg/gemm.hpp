@@ -12,34 +12,19 @@
 // rounded with round-to-nearest-even on entry and all products are
 // accumulated in FP32 (the MMA contract), reproducing hardware numerics
 // bit-for-bit up to FMA contraction.
+//
+// NOTE: this header is private to src/linalg/.  Everything else routes GEMMs
+// through the GemmBackend interface in linalg/backend.hpp (which also owns
+// GemmConfig and the Matrix matmul wrappers); a grep check in
+// scripts/check_gemm_includes.sh enforces the boundary.
 #pragma once
 
 #include <cstddef>
 
-#include "linalg/matrix.hpp"
+#include "linalg/backend.hpp"  // GemmConfig, quantize_to_float
 #include "util/precision.hpp"
 
 namespace mako {
-
-/// CUTLASS-style kernel configuration explored by CompilerMako.
-struct GemmConfig {
-  int tile_m = 48;  ///< rows of C computed per block tile
-  int tile_n = 48;  ///< cols of C computed per block tile
-  int tile_k = 32;  ///< reduction depth staged per iteration
-  int ilp = 4;      ///< inner-loop unroll (implicit instruction parallelism)
-  Precision precision = Precision::kFP64;
-  /// Packed register-blocked execution: operands are staged into contiguous
-  /// MR/NR panels (the host analogue of CUTLASS shared-memory staging) and a
-  /// register-resident micro-kernel keeps the C fragment out of memory for
-  /// the whole K loop.  `false` selects the legacy unpacked tile kernel,
-  /// retained as the ablation/equivalence baseline.
-  bool packed = true;
-
-  [[nodiscard]] bool operator==(const GemmConfig& o) const noexcept {
-    return tile_m == o.tile_m && tile_n == o.tile_n && tile_k == o.tile_k &&
-           ilp == o.ilp && precision == o.precision && packed == o.packed;
-  }
-};
 
 // --- Raw pointer kernels (row-major, C = alpha*op(A)*op(B) + beta*C) --------
 
@@ -61,11 +46,6 @@ void gemm_fp64_ex(const double* a, bool trans_a, const double* b, bool trans_b,
                   double* c, std::size_t m, std::size_t n, std::size_t k,
                   double alpha = 1.0, double beta = 0.0,
                   const GemmConfig& cfg = {});
-
-/// Rounds a double buffer to the storage format of `p`, widened to float —
-/// the once-per-batch operand staging of the quantized-operand cache.
-void quantize_to_float(const double* src, float* dst, std::size_t n,
-                       Precision p);
 
 /// Quantized GEMM over operands already rounded through the target precision
 /// (see quantize_to_float): multiplies at FP32, accumulates at FP32, and
@@ -93,25 +73,5 @@ void gemm_quantized(const double* a, const double* b, double* c, std::size_t m,
 void gemm_fp16_naive(const double* a, const double* b, double* c,
                      std::size_t m, std::size_t n, std::size_t k, double alpha,
                      double beta, bool trans_a = false);
-
-// --- Matrix convenience wrappers (FP64) -------------------------------------
-
-enum class Trans { kNo, kYes };
-
-/// General C = alpha * op(A) * op(B) + beta * C over Matrix<double>.
-void gemm(const MatrixD& a, Trans ta, const MatrixD& b, Trans tb, MatrixD& c,
-          double alpha = 1.0, double beta = 0.0);
-
-/// Returns A * B.
-MatrixD matmul(const MatrixD& a, const MatrixD& b);
-
-/// Returns op(A) * op(B).
-MatrixD matmul(const MatrixD& a, Trans ta, const MatrixD& b, Trans tb);
-
-/// FLOP count of an (m,n,k) GEMM (2*m*n*k).
-constexpr double gemm_flops(std::size_t m, std::size_t n, std::size_t k) {
-  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
-         static_cast<double>(k);
-}
 
 }  // namespace mako

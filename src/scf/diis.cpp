@@ -2,17 +2,17 @@
 
 #include <cmath>
 
+#include "linalg/backend.hpp"
 #include "linalg/eigen.hpp"
-#include "linalg/gemm.hpp"
 
 namespace mako {
 
 MatrixD diis_error_matrix(const MatrixD& f, const MatrixD& d, const MatrixD& s,
-                          const MatrixD& x) {
-  MatrixD fds = matmul(matmul(f, d), s);
-  MatrixD sdf = matmul(matmul(s, d), f);
+                          const MatrixD& x, const GemmBackend* backend) {
+  MatrixD fds = matmul(matmul(f, d, backend), s, backend);
+  MatrixD sdf = matmul(matmul(s, d, backend), f, backend);
   fds -= sdf;
-  return matmul(matmul(x, Trans::kYes, fds, Trans::kNo), x);
+  return matmul(matmul(x, Trans::kYes, fds, Trans::kNo, backend), x, backend);
 }
 
 MatrixD Diis::extrapolate(const MatrixD& fock, const MatrixD& error) {

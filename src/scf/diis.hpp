@@ -7,6 +7,8 @@
 
 namespace mako {
 
+class GemmBackend;
+
 /// Classic commutator-DIIS: extrapolates the Fock matrix from the history of
 /// (F, error) pairs with error = FDS - SDF expressed in an orthonormal basis.
 class Diis {
@@ -30,7 +32,10 @@ class Diis {
 };
 
 /// Builds the DIIS error matrix  X^T (F D S - S D F) X  (X orthogonalizer).
+/// GEMMs route through `backend` (the run's ExecutionContext backend), or
+/// the process-wide active backend when null.
 MatrixD diis_error_matrix(const MatrixD& f, const MatrixD& d, const MatrixD& s,
-                          const MatrixD& x);
+                          const MatrixD& x,
+                          const GemmBackend* backend = nullptr);
 
 }  // namespace mako

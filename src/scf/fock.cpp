@@ -6,11 +6,10 @@
 #include <map>
 
 #include "compilermako/registry.hpp"
+#include "core/execution_context.hpp"
 #include "integrals/eri_reference.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "parallel/thread_pool.hpp"
-#include "robust/fault_injector.hpp"
 #include "util/timer.hpp"
 
 namespace mako {
@@ -78,12 +77,16 @@ struct PendingQuartet {
 
 }  // namespace
 
-FockBuilder::FockBuilder(const BasisSet& basis, FockOptions options)
-    : basis_(basis), options_(options), schwarz_(schwarz_bounds(basis)) {
-  // CompilerMako static planning: warm the class-plan registry up front so
+FockBuilder::FockBuilder(const BasisSet& basis, FockOptions options,
+                         const ExecutionContext* ctx)
+    : basis_(basis),
+      options_(options),
+      ctx_(ctx != nullptr ? ctx : &ExecutionContext::process()),
+      schwarz_(schwarz_bounds(basis)) {
+  // CompilerMako static planning: warm the context's plan cache up front so
   // the first Fock build's hot path starts with every class plan resolved.
   if (options_.engine == EriEngineKind::kMako) {
-    prewarm_class_plans(basis);
+    prewarm_class_plans(basis, ctx_->plans());
   }
 }
 
@@ -210,7 +213,13 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
           config.group_scaling = gs;
         }
       }
-      BatchedEriEngine& engine = engines_[{key, config.gemm.precision}];
+      // Engines are bound to the context's backend and plan cache at
+      // construction; only the config is re-resolved per build.
+      BatchedEriEngine& engine =
+          engines_
+              .try_emplace(std::make_pair(key, config.gemm.precision), config,
+                           &ctx_->backend(), &ctx_->plans())
+              .first->second;
       engine.set_config(config);
 
       for (std::size_t start = 0; start < list.size();
@@ -224,7 +233,7 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
     // Parallel section: shards claim tasks round-robin and digest into
     // per-shard J/K accumulators (second stage of dual-stage accumulation,
     // FP64 throughout), reduced deterministically afterwards.
-    ThreadPool& pool = ThreadPool::global();
+    ThreadPool& pool = ctx_->pool();
     const std::size_t nshards =
         options_.parallel
             ? std::min(tasks.size(), std::max<std::size_t>(pool.size(), 1))
@@ -286,7 +295,7 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
   // the precision-escalation rung exists for.  Escalating to FP64 makes the
   // site inert, so a recovered run converges to the FP64-exact result.
   if (stats.quartets_quantized > 0 && MAKO_FAULT_POINT("fock.j_poison")) {
-    FaultInjector::instance().corrupt("fock.j_poison", j.data(), j.size());
+    ctx_->faults().corrupt("fock.j_poison", j.data(), j.size());
   }
 
   stats.eri_seconds = eri_timer.seconds() - digest_seconds;

@@ -22,6 +22,8 @@
 
 namespace mako {
 
+class ExecutionContext;
+
 /// Which ERI engine backs the Fock build.
 enum class EriEngineKind {
   kReference,  ///< per-quartet irregular baseline (GPU4PySCF/QUICK role)
@@ -54,7 +56,10 @@ struct FockStats {
 /// Builds J and K for a given (symmetric) density matrix.
 class FockBuilder {
  public:
-  FockBuilder(const BasisSet& basis, FockOptions options = {});
+  /// `ctx` supplies the GEMM backend, plan cache, thread pool, and fault
+  /// hooks of the run; null borrows ExecutionContext::process().
+  FockBuilder(const BasisSet& basis, FockOptions options = {},
+              const ExecutionContext* ctx = nullptr);
 
   /// Computes the Coulomb and exchange matrices of `density` (AO basis,
   /// closed-shell convention D = 2 * C_occ C_occ^T) under the given
@@ -70,6 +75,7 @@ class FockBuilder {
  private:
   const BasisSet& basis_;
   FockOptions options_;
+  const ExecutionContext* ctx_;  ///< never null after construction
   MatrixD schwarz_;  ///< shell-pair Schwarz bounds
   /// One Mako engine per (class, precision), reused across buckets and
   /// successive build_jk calls (configs are re-resolved each call; the

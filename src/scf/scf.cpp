@@ -6,9 +6,10 @@
 #include <memory>
 #include <stdexcept>
 
+#include "core/execution_context.hpp"
 #include "integrals/one_electron.hpp"
+#include "linalg/backend.hpp"
 #include "linalg/eigen.hpp"
-#include "linalg/gemm.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "robust/audit.hpp"
@@ -92,12 +93,16 @@ double ScfResult::avg_iteration_seconds() const {
 }
 
 ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
-                  const ScfOptions& options) {
+                  const ScfOptions& options, const ExecutionContext* ctx) {
   std::size_t nocc = 0;
   validate_inputs(mol, basis, &nocc);
 
   MAKO_TRACE_SCOPE(obs::TraceCat::kScf, "scf.run");
   MAKO_METRIC_COUNT("scf.runs", 1);
+
+  // Execution environment: the engine-owned context, or the process default.
+  const ExecutionContext& exec = ctx ? *ctx : ExecutionContext::process();
+  const GemmBackend* const be = &exec.backend();
 
   ScfResult result;
   result.e_nuclear = mol.nuclear_repulsion();
@@ -116,15 +121,27 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
   }
 
   // Fock builder over the chosen ERI engine.
-  FockBuilder fock_builder(basis, options.fock);
+  FockBuilder fock_builder(basis, options.fock, &exec);
   ConvergenceAwareScheduler scheduler(options.scheduler);
   Diis diis;
 
+  // Quantized scheduling requires a backend with a reduced-precision
+  // datapath; on capability-less backends (e.g. "reference") the schedule
+  // degrades to pure FP64 rather than silently running quantized math at
+  // full precision with loosened prune thresholds.
+  const bool quantization_available =
+      options.enable_quantization && be->capabilities().quantized;
+  if (options.enable_quantization && !quantization_available) {
+    log_info("run_scf: backend '%s' has no quantized datapath; "
+             "convergence-aware precision scheduling disabled",
+             be->name().c_str());
+  }
+
   // Core-Hamiltonian initial guess.
   {
-    MatrixD f0 = matmul(matmul(x, Trans::kYes, hcore, Trans::kNo), x);
+    MatrixD f0 = matmul(matmul(x, Trans::kYes, hcore, Trans::kNo, be), x, be);
     EigenResult es = eigh(f0);
-    result.coefficients = matmul(x, es.eigenvectors);
+    result.coefficients = matmul(x, es.eigenvectors, be);
     result.orbital_energies = es.eigenvalues;
   }
   result.density = build_density(result.coefficients, nocc);
@@ -240,7 +257,7 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
          ++attempt) {
       // Precision policy for this attempt (QuantMako scheduling, unless the
       // precision-escalation rung latched FP64).
-      if (options.enable_quantization && !force_exact && !ladder.fp64) {
+      if (quantization_available && !force_exact && !ladder.fp64) {
         policy = scheduler.policy_for_error(iter == 0 ? 1.0 : last_error);
       } else {
         policy = IterationPolicy{};
@@ -264,7 +281,7 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
           // Symmetric bias on the delta contribution: models accumulated
           // incremental error that only full rebuilds (rung 5) clear.
           const FaultSpec spec =
-              FaultInjector::instance().armed_spec("scf.incremental_drift");
+              exec.faults().armed_spec("scf.incremental_drift");
           dj(0, 0) += spec.magnitude;
         }
         j = j_prev;
@@ -324,7 +341,7 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
     XcResult xres;
     if (grid) {
       MAKO_TRACE_SCOPE(obs::TraceCat::kScf, "scf.xc");
-      xres = integrate_xc(basis, *grid, xc, result.density);
+      xres = integrate_xc(basis, *grid, xc, result.density, be);
       MAKO_METRIC_COUNT("scf.xc_builds", 1);
     }
 
@@ -367,7 +384,7 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
     MatrixD f_use = fock;
     if (options.use_diis) {
       MAKO_TRACE_SCOPE(obs::TraceCat::kScf, "scf.diis");
-      const MatrixD err = diis_error_matrix(fock, result.density, s, x);
+      const MatrixD err = diis_error_matrix(fock, result.density, s, x, be);
       f_use = diis.extrapolate(fock, err);
       last_error = diis.last_error();
     } else {
@@ -375,7 +392,8 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
     }
 
     // Diagonalize in the orthonormal basis.
-    MatrixD f_ortho = matmul(matmul(x, Trans::kYes, f_use, Trans::kNo), x);
+    MatrixD f_ortho =
+        matmul(matmul(x, Trans::kYes, f_use, Trans::kNo, be), x, be);
     // Rung-2 level shift: F_ortho += shift * (I - Y_occ Y_occ^T) raises the
     // virtual block, suppressing occupied/virtual mixing while the run is
     // still far from converged.  Tapers off near convergence so final
@@ -384,7 +402,7 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
         last_error > 10.0 * options.diis_convergence &&
         robust.level_shift > 0.0) {
       MatrixD p_occ =
-          matmul(prev_y_occ, Trans::kNo, prev_y_occ, Trans::kYes);
+          matmul(prev_y_occ, Trans::kNo, prev_y_occ, Trans::kYes, be);
       p_occ *= robust.level_shift;
       for (std::size_t i = 0; i < f_ortho.rows(); ++i) {
         f_ortho(i, i) += robust.level_shift;
@@ -447,7 +465,7 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
       }
     }
 
-    result.coefficients = matmul(x, es.eigenvectors);
+    result.coefficients = matmul(x, es.eigenvectors, be);
     result.orbital_energies = es.eigenvalues;
     MatrixD d_new = build_density(result.coefficients, nocc);
     if (ladder.damping) {
@@ -463,8 +481,7 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
       // Symmetric, finite perturbation of the next-iteration density: the
       // soft sentinels (oscillation/stagnation) must catch this — no hard
       // audit will.
-      const FaultSpec spec =
-          FaultInjector::instance().armed_spec("scf.density_perturb");
+      const FaultSpec spec = exec.faults().armed_spec("scf.density_perturb");
       result.density(0, 0) *= (1.0 + spec.magnitude);
     }
     result.fock = std::move(fock);

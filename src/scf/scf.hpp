@@ -18,6 +18,8 @@
 
 namespace mako {
 
+class ExecutionContext;
+
 /// Fock-matrix diagonalization strategy.
 enum class Diagonalizer {
   kDirect,    ///< full tridiagonalization + QL (robust default)
@@ -139,7 +141,12 @@ struct ScfResult {
 /// Throws InputError (a std::invalid_argument) for inputs that cannot be
 /// represented as a closed-shell RHF/RKS problem: non-positive or odd
 /// electron counts, or a basis with fewer orbitals than occupied pairs.
+///
+/// `ctx` supplies the GEMM backend, thread pool, plan cache, and fault hooks
+/// of the run (normally the MakoEngine-owned context); null borrows
+/// ExecutionContext::process().
 ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
-                  const ScfOptions& options = {});
+                  const ScfOptions& options = {},
+                  const ExecutionContext* ctx = nullptr);
 
 }  // namespace mako

@@ -4,7 +4,7 @@
 #include <stdexcept>
 
 #include "basis/spherical.hpp"
-#include "linalg/gemm.hpp"
+#include "linalg/backend.hpp"
 
 namespace mako {
 namespace {
@@ -282,11 +282,15 @@ void evaluate_aos(const BasisSet& basis, const GridPoint* pts,
 }
 
 XcResult integrate_xc(const BasisSet& basis, const MolecularGrid& grid,
-                      const XcFunctional& xc, const MatrixD& d) {
+                      const XcFunctional& xc, const MatrixD& d,
+                      const GemmBackend* backend) {
   XcResult result;
   const std::size_t nbf = basis.nbf();
   result.vxc.resize(nbf, nbf, 0.0);
   if (xc.is_hf_only()) return result;
+  const GemmBackend& be = backend != nullptr
+                              ? *backend
+                              : GemmBackendRegistry::instance().active();
 
   const bool grads = xc.needs_gradient();
   constexpr std::size_t kChunk = 256;
@@ -303,7 +307,7 @@ XcResult integrate_xc(const BasisSet& basis, const MolecularGrid& grid,
 
     // dphi(p, n) = sum_m AO(p, m) D(m, n)  — a GEMM.
     dphi.resize(n, nbf);
-    gemm_fp64(ao.data(), d.data(), dphi.data(), n, nbf, nbf);
+    be.fp64(ao.data(), false, d.data(), false, dphi.data(), n, nbf, nbf);
 
     bmat.resize(n, nbf);
     bmat.fill(0.0);
@@ -345,9 +349,10 @@ XcResult integrate_xc(const BasisSet& basis, const MolecularGrid& grid,
       }
     }
 
-    // Vxc += AO^T * B (then symmetrized below).
-    gemm_fp64(ao.transposed().data(), bmat.data(), result.vxc.data(), nbf, nbf,
-              n, 1.0, 1.0);
+    // Vxc += AO^T * B (then symmetrized below); the transpose is native to
+    // the backend contract — no materialized AO^T copy.
+    be.fp64(ao.data(), /*trans_a=*/true, bmat.data(), false,
+            result.vxc.data(), nbf, nbf, n, 1.0, 1.0);
   }
 
   // Symmetrize: Vxc <- Vxc + Vxc^T.

@@ -17,6 +17,8 @@
 
 namespace mako {
 
+class GemmBackend;
+
 /// Pointwise functional evaluation result (per unit volume).
 struct XcPoint {
   double exc = 0.0;     ///< energy density f(rho, sigma)
@@ -64,9 +66,12 @@ struct XcResult {
 /// Numerically integrates the XC energy and potential matrix for density
 /// matrix `d` (closed-shell convention) on `grid`.  This is the
 /// triple-product-projection stage the paper notes is already MatMul-
-/// amenable: AO values on point blocks contract with D through GEMMs.
+/// amenable: AO values on point blocks contract with D through GEMMs, which
+/// dispatch through `backend` (the run's ExecutionContext backend) or the
+/// process-wide active backend when null.
 XcResult integrate_xc(const BasisSet& basis, const MolecularGrid& grid,
-                      const XcFunctional& xc, const MatrixD& d);
+                      const XcFunctional& xc, const MatrixD& d,
+                      const GemmBackend* backend = nullptr);
 
 /// Evaluates AO values (and optionally gradients) for a block of grid
 /// points: ao is [npts x nbf]; gradients likewise when non-null.

@@ -1,7 +1,7 @@
 // DIIS extrapolation tests.
 #include <gtest/gtest.h>
 
-#include "linalg/gemm.hpp"
+#include "linalg/backend.hpp"
 #include "scf/diis.hpp"
 #include "util/rng.hpp"
 

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "linalg/eigen.hpp"
-#include "linalg/gemm.hpp"
+#include "linalg/backend.hpp"
 #include "util/rng.hpp"
 
 namespace mako {

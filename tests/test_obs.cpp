@@ -12,6 +12,7 @@
 
 #include "basis/basis_set.hpp"
 #include "chem/builders.hpp"
+#include "core/execution_context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -303,7 +304,11 @@ TEST(TelemetryTest, QuantizedRunReportsPolicy) {
   const BasisSet bs(w, "6-31g");
   ScfOptions options;
   options.enable_quantization = true;
-  const ScfResult r = run_scf(w, bs, options);
+  // Pin the quantized-capable backend: under MAKO_BACKEND=reference the
+  // schedule would degrade to FP64 and no quantized routing would appear.
+  const ExecutionContext ctx(ExecutionContextOptions{
+      .backend = GemmBackendRegistry::kDefaultName, .make_active = false});
+  const ScfResult r = run_scf(w, bs, options, &ctx);
   ASSERT_FALSE(r.telemetry.empty());
   // Early iterations run quantized under the convergence-aware schedule.
   EXPECT_TRUE(r.telemetry.front().quantized_allowed);

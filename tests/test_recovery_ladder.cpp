@@ -8,6 +8,7 @@
 
 #include "basis/basis_set.hpp"
 #include "chem/builders.hpp"
+#include "core/execution_context.hpp"
 #include "parallel/simcomm.hpp"
 #include "robust/fault_injector.hpp"
 #include "robust/status.hpp"
@@ -29,6 +30,16 @@ class RecoveryLadderTest : public ::testing::Test {
     return std::any_of(
         r.recovery_log.begin(), r.recovery_log.end(),
         [action](const RecoveryEvent& e) { return e.action == action; });
+  }
+
+  /// Faults injected into the quantized datapath need a backend that has
+  /// one: pin the quantized-capable default instead of inheriting
+  /// MAKO_BACKEND (the reference backend degrades the schedule to FP64 and
+  /// the poisoned path never runs).
+  static const ExecutionContext& quantized_context() {
+    static const ExecutionContext ctx(ExecutionContextOptions{
+        .backend = GemmBackendRegistry::kDefaultName, .make_active = false});
+    return ctx;
   }
 };
 
@@ -62,7 +73,7 @@ TEST_F(RecoveryLadderTest, NaNInJEscalatesToFp64AndConvergesExact) {
   ScfOptions opt;
   opt.enable_quantization = true;
   opt.scheduler.start_fp64_threshold = 1e2;  // route everything early
-  const ScfResult r = run_scf(w, bs, opt);
+  const ScfResult r = run_scf(w, bs, opt, &quantized_context());
 
   EXPECT_TRUE(r.converged);
   EXPECT_TRUE(r.status.is_ok());
@@ -90,7 +101,7 @@ TEST_F(RecoveryLadderTest, QuantizedOperandCorruptionRecovers) {
   ScfOptions opt;
   opt.enable_quantization = true;
   opt.scheduler.start_fp64_threshold = 1e2;
-  const ScfResult r = run_scf(w, bs, opt);
+  const ScfResult r = run_scf(w, bs, opt, &quantized_context());
 
   EXPECT_TRUE(r.converged);
   EXPECT_TRUE(r.fp64_latched);

@@ -6,6 +6,7 @@
 
 #include "basis/basis_set.hpp"
 #include "chem/builders.hpp"
+#include "core/execution_context.hpp"
 #include "integrals/one_electron.hpp"
 #include "scf/scf.hpp"
 
@@ -17,6 +18,16 @@ Molecule h2_molecule() {
   m.add_atom(1, 0, 0, 0);
   m.add_atom(1, 0, 0, 1.4);
   return m;
+}
+
+/// Tests that assert on the quantized datapath pin the quantized-capable
+/// default backend: under a MAKO_BACKEND=reference run the process context
+/// would degrade the schedule to pure FP64 and there would be nothing to
+/// assert on.
+const ExecutionContext& quantized_context() {
+  static const ExecutionContext ctx(ExecutionContextOptions{
+      .backend = GemmBackendRegistry::kDefaultName, .make_active = false});
+  return ctx;
 }
 
 TEST(ScfTest, H2Sto3gMatchesLiterature) {
@@ -78,7 +89,7 @@ TEST(ScfTest, QuantizedIterationsActuallyQuantize) {
   ScfOptions quant;
   quant.enable_quantization = true;
   quant.scheduler.start_fp64_threshold = 1e2;  // route everything early
-  const ScfResult r = run_scf(w, bs, quant);
+  const ScfResult r = run_scf(w, bs, quant, &quantized_context());
   EXPECT_GT(r.iteration_log.front().quartets_quantized, 0);
   // Final iterations are exact.
   EXPECT_EQ(r.iteration_log.back().quartets_quantized, 0);
