@@ -27,10 +27,14 @@ using namespace mako;
 /// Per-stage breakdown of one engine's run, pulled from the global metrics
 /// registry (zeros when the instrumentation is compiled out).
 struct StageBreakdown {
+  double plan_build_s = 0.0;
+  double route_s = 0.0;
   double eri_s = 0.0;
   double digest_s = 0.0;
   double diag_s = 0.0;
   long long gemm_calls = 0;
+  long long screen_visited = 0;
+  long long screen_pruned_early = 0;
 };
 
 struct Record {
@@ -47,6 +51,10 @@ struct Record {
 StageBreakdown collect_stages() {
   const obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
   StageBreakdown s;
+  if (const obs::Histogram* h = reg.find_histogram("fock.plan_build_s"))
+    s.plan_build_s = h->sum();
+  if (const obs::Histogram* h = reg.find_histogram("fock.route_s"))
+    s.route_s = h->sum();
   if (const obs::Histogram* h = reg.find_histogram("fock.eri_s"))
     s.eri_s = h->sum();
   if (const obs::Histogram* h = reg.find_histogram("fock.digest_s"))
@@ -55,6 +63,10 @@ StageBreakdown collect_stages() {
     s.diag_s = h->sum();
   if (const obs::Counter* c = reg.find_counter("gemm.calls"))
     s.gemm_calls = static_cast<long long>(c->value());
+  if (const obs::Counter* c = reg.find_counter("fock.screen_visited"))
+    s.screen_visited = static_cast<long long>(c->value());
+  if (const obs::Counter* c = reg.find_counter("fock.screen_pruned_early"))
+    s.screen_pruned_early = static_cast<long long>(c->value());
   return s;
 }
 
@@ -94,9 +106,12 @@ Record run_system(const char* name, const Molecule& mol,
 void write_stages_json(std::FILE* f, const char* label,
                        const StageBreakdown& s, const char* trailer) {
   std::fprintf(f,
-               "     \"%s\": {\"eri_s\": %.6f, \"digest_s\": %.6f, "
-               "\"diag_s\": %.6f, \"gemm_calls\": %lld}%s\n",
-               label, s.eri_s, s.digest_s, s.diag_s, s.gemm_calls, trailer);
+               "     \"%s\": {\"plan_build_s\": %.6f, \"route_s\": %.6f, "
+               "\"eri_s\": %.6f, \"digest_s\": %.6f, "
+               "\"diag_s\": %.6f, \"gemm_calls\": %lld, "
+               "\"screen_visited\": %lld, \"screen_pruned_early\": %lld}%s\n",
+               label, s.plan_build_s, s.route_s, s.eri_s, s.digest_s, s.diag_s,
+               s.gemm_calls, s.screen_visited, s.screen_pruned_early, trailer);
 }
 
 void write_json(const char* path, const std::vector<Record>& records) {

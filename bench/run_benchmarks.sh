@@ -13,6 +13,11 @@
 # The script (re)builds the two bench targets, runs them, and writes
 # BENCH_fig6.json and BENCH_fig8.json into OUT_DIR.  Human-readable tables
 # still go to stdout.
+#
+# Each fig8 record carries a per-engine "stages" breakdown: plan_build_s
+# (one-time Fock plan construction), route_s (per-iteration screening and
+# routing wall), eri_s / digest_s (summed shard CPU), diag_s, gemm_calls,
+# and the screening counters screen_visited / screen_pruned_early.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

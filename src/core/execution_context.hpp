@@ -22,14 +22,20 @@
 //                          ├─ scheduler -> SchedulerConfig    (by value)
 //                          ├─ faults    -> FaultInjector      (process-wide)
 //                          ├─ metrics   -> obs::MetricsRegistry (process-wide)
-//                          └─ tracer    -> obs::Tracer        (process-wide)
+//                          ├─ tracer    -> obs::Tracer        (process-wide)
+//                          └─ components-> ComponentCache     (by value; lazy
+//                                           anchor for higher-layer caches)
 //
 // The context is immutable after construction and cheap to pass by const
 // reference; all referenced subsystems are individually thread-safe, so a
 // single context may be shared by every worker of a run.
 #pragma once
 
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <typeindex>
 
 #include "accel/device.hpp"
 #include "kernelmako/class_plan.hpp"
@@ -63,6 +69,33 @@ struct ExecutionContextOptions {
   /// ambient matmul()/gemm() wrappers (eigen, DIIS extrapolation) route
   /// through it too.  Tests that juggle several contexts can opt out.
   bool make_active = true;
+};
+
+/// Type-keyed cache of lazily constructed per-context components.
+///
+/// Higher layers (scf, xc) need somewhere to anchor caches that live as long
+/// as the run — e.g. the FockPlanCache — but the core library cannot name
+/// their types without inverting the link graph (core is a leaf; scf links
+/// core).  ComponentCache type-erases the slot: `components().get<T>()`
+/// default-constructs a T on first use and returns the same instance for the
+/// context's lifetime.  Thread-safe; T must be default-constructible.
+class ComponentCache {
+ public:
+  ComponentCache() = default;
+  ComponentCache(const ComponentCache&) = delete;
+  ComponentCache& operator=(const ComponentCache&) = delete;
+
+  template <typename T>
+  [[nodiscard]] T& get() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_ptr<void>& slot = slots_[std::type_index(typeid(T))];
+    if (slot == nullptr) slot = std::shared_ptr<void>(new T());
+    return *static_cast<T*>(slot.get());
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::map<std::type_index, std::shared_ptr<void>> slots_;
 };
 
 /// Immutable execution environment of one Mako run.
@@ -113,6 +146,13 @@ class ExecutionContext {
   }
   [[nodiscard]] obs::Tracer& tracer() const noexcept { return *tracer_; }
 
+  /// Per-context anchor for higher-layer caches (FockPlanCache et al.);
+  /// see ComponentCache.  The context stays logically immutable — components
+  /// are lazily built services, not configuration.
+  [[nodiscard]] ComponentCache& components() const noexcept {
+    return components_;
+  }
+
   /// Simulated communicator over `size` ranks, wired to this context's
   /// fault hooks (SimComm reads the process registry internally today; the
   /// factory is the seam where a per-context injector would plug in).
@@ -129,6 +169,7 @@ class ExecutionContext {
   FaultInjector* faults_;
   obs::MetricsRegistry* metrics_;
   obs::Tracer* tracer_;
+  mutable ComponentCache components_;
 };
 
 }  // namespace mako

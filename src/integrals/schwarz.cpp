@@ -1,27 +1,60 @@
 #include "integrals/schwarz.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "integrals/eri_reference.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace mako {
+namespace {
 
-MatrixD schwarz_bounds(const BasisSet& basis) {
+/// Fills row i of the upper triangle (j >= i) plus its mirror.  With rows
+/// partitioned across shards every entry has exactly one writer: (i, j) is
+/// owned by row i, and the mirror (j, i) with i < j is never row j's to
+/// write (row j only touches columns >= j).
+void schwarz_row(const BasisSet& basis, std::size_t i,
+                 ReferenceEriEngine& engine, std::vector<double>& block,
+                 MatrixD& q) {
   const auto& shells = basis.shells();
   const std::size_t n = shells.size();
-  MatrixD q(n, n, 0.0);
-  ReferenceEriEngine engine;
-  std::vector<double> block;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i; j < n; ++j) {
-      engine.compute(shells[i], shells[j], shells[i], shells[j], block);
-      double mx = 0.0;
-      for (double v : block) mx = std::max(mx, std::fabs(v));
-      const double bound = std::sqrt(mx);
-      q(i, j) = bound;
-      q(j, i) = bound;
-    }
+  for (std::size_t j = i; j < n; ++j) {
+    engine.compute(shells[i], shells[j], shells[i], shells[j], block);
+    double mx = 0.0;
+    for (double v : block) mx = std::max(mx, std::fabs(v));
+    const double bound = std::sqrt(mx);
+    q(i, j) = bound;
+    q(j, i) = bound;
   }
+}
+
+}  // namespace
+
+MatrixD schwarz_bounds(const BasisSet& basis) {
+  return schwarz_bounds(basis, nullptr);
+}
+
+MatrixD schwarz_bounds(const BasisSet& basis, ThreadPool* pool) {
+  const std::size_t n = basis.num_shells();
+  MatrixD q(n, n, 0.0);
+  const std::size_t nshards =
+      pool != nullptr ? std::min(n, std::max<std::size_t>(pool->size(), 1))
+                      : 1;
+  if (nshards <= 1) {
+    ReferenceEriEngine engine;
+    std::vector<double> block;
+    for (std::size_t i = 0; i < n; ++i) schwarz_row(basis, i, engine, block, q);
+    return q;
+  }
+  // Round-robin rows: row i costs n - i pair evaluations, so striding keeps
+  // the shards balanced without a prefix-sum partition.
+  pool->parallel_for(nshards, [&](std::size_t s) {
+    ReferenceEriEngine engine;
+    std::vector<double> block;
+    for (std::size_t i = s; i < n; i += nshards) {
+      schwarz_row(basis, i, engine, block, q);
+    }
+  });
   return q;
 }
 

@@ -9,9 +9,17 @@
 
 namespace mako {
 
+class ThreadPool;
+
 /// Shell-pair Schwarz bound matrix Q (num_shells x num_shells, symmetric,
 /// non-negative).
 MatrixD schwarz_bounds(const BasisSet& basis);
+
+/// Same bounds, with the upper-triangle rows sharded round-robin across
+/// `pool` (each shard owns its engine; every matrix entry has a unique
+/// writer).  Bit-identical to the serial overload for any shard count;
+/// `pool == nullptr` runs serially.
+MatrixD schwarz_bounds(const BasisSet& basis, ThreadPool* pool);
 
 /// Precision route of a quartet under the paper's integral-level scheduling.
 enum class IntegralClass {

@@ -109,7 +109,8 @@ BatchStats BatchedEriEngine::compute_batch(
 
 BatchStats BatchedEriEngine::compute_batch(
     const EriClassPlan& plan, std::span<const QuartetRef> batch,
-    std::vector<std::vector<double>>& out, EriScratch& scratch) const {
+    std::vector<std::vector<double>>& out, EriScratch& scratch,
+    bool verify_class) const {
   Timer timer;
   BatchStats stats;
   const EriClassKey& key = plan.key();
@@ -145,17 +146,21 @@ BatchStats BatchedEriEngine::compute_batch(
   scratch.ket_pairs.resize(nq * kcd);
   scratch.bra_e.resize(nq * kab * e_bra_sz);
   scratch.ket_e.resize(nq * kcd * e_ket_sz);
+  if (verify_class) {
+    for (const QuartetRef& ref : batch) {
+      if (ref.a->l != key.la || ref.b->l != key.lb || ref.c->l != key.lc ||
+          ref.d->l != key.ld) {
+        throw std::invalid_argument("compute_batch: heterogeneous batch");
+      }
+      if (ref.a->nprim() * ref.b->nprim() != key.kab ||
+          ref.c->nprim() * ref.d->nprim() != key.kcd) {
+        throw std::invalid_argument(
+            "compute_batch: contraction degree mismatch with class key");
+      }
+    }
+  }
   for (std::size_t q = 0; q < nq; ++q) {
     const QuartetRef& ref = batch[q];
-    if (ref.a->l != key.la || ref.b->l != key.lb || ref.c->l != key.lc ||
-        ref.d->l != key.ld) {
-      throw std::invalid_argument("compute_batch: heterogeneous batch");
-    }
-    if (ref.a->nprim() * ref.b->nprim() != key.kab ||
-        ref.c->nprim() * ref.d->nprim() != key.kcd) {
-      throw std::invalid_argument(
-          "compute_batch: contraction degree mismatch with class key");
-    }
     make_prim_pairs(ref.a->center, ref.a->exponents, ref.a->coefficients,
                     ref.b->center, ref.b->exponents, ref.b->coefficients,
                     scratch.bra_pairs.data() + q * kab);

@@ -108,11 +108,15 @@ class BatchedEriEngine {
                            std::vector<std::vector<double>>& out) const;
 
   /// Plan-explicit variant: executes against a pre-resolved class plan and a
-  /// caller-owned scratch arena (one per thread).
+  /// caller-owned scratch arena (one per thread).  Callers whose batches are
+  /// pre-classified by construction (FockPlan routing emits class-segmented
+  /// spans) pass `verify_class = false` to skip the per-quartet homogeneity
+  /// checks on the hot path.
   BatchStats compute_batch(const EriClassPlan& plan,
                            std::span<const QuartetRef> batch,
                            std::vector<std::vector<double>>& out,
-                           EriScratch& scratch) const;
+                           EriScratch& scratch,
+                           bool verify_class = true) const;
 
   /// Derives the class key of a quartet (contraction degrees included).
   static EriClassKey classify(const QuartetRef& q);

@@ -8,17 +8,18 @@ std::string telemetry_table(const std::vector<IterationTelemetry>& records) {
   std::string out;
   out +=
       "iter  policy  fp64_thresh        fp64       quant      pruned  "
-      "rung retry      eri(s)   digest(s)        error\n";
-  char line[256];
+      "rung retry    route(s)      eri(s)   digest(s)        error\n";
+  char line[288];
   for (const IterationTelemetry& r : records) {
     std::snprintf(
         line, sizeof line,
-        "%4d  %-6s  %11.3e %11lld %11lld %11lld  %4d %5d %11.5f %11.5f %12.3e\n",
+        "%4d  %-6s  %11.3e %11lld %11lld %11lld  %4d %5d %11.5f %11.5f "
+        "%11.5f %12.3e\n",
         r.iteration, r.quantized_allowed ? r.precision : "fp64",
         r.fp64_threshold, static_cast<long long>(r.quartets_fp64),
         static_cast<long long>(r.quartets_quantized),
         static_cast<long long>(r.quartets_pruned), r.ladder_rung, r.retries,
-        r.eri_seconds, r.digest_seconds, r.error);
+        r.route_seconds, r.eri_seconds, r.digest_seconds, r.error);
     out += line;
   }
   return out;
@@ -37,6 +38,7 @@ std::string telemetry_json(const std::vector<IterationTelemetry>& records) {
         "\"prune_threshold\": %.6e, \"quartets_fp64\": %lld, "
         "\"quartets_quantized\": %lld, \"quartets_pruned\": %lld, "
         "\"eri_seconds\": %.6f, \"digest_seconds\": %.6f, "
+        "\"route_seconds\": %.6f, "
         "\"ladder_rung\": %d, \"retries\": %d, \"domain_faults\": %lld, "
         "\"comm_retries\": %lld}",
         i == 0 ? "" : ",", r.iteration, r.energy, r.error, r.seconds,
@@ -44,7 +46,7 @@ std::string telemetry_json(const std::vector<IterationTelemetry>& records) {
         r.prune_threshold, static_cast<long long>(r.quartets_fp64),
         static_cast<long long>(r.quartets_quantized),
         static_cast<long long>(r.quartets_pruned), r.eri_seconds,
-        r.digest_seconds, r.ladder_rung, r.retries,
+        r.digest_seconds, r.route_seconds, r.ladder_rung, r.retries,
         static_cast<long long>(r.domain_faults),
         static_cast<long long>(r.comm_retries));
     out += line;

@@ -36,9 +36,11 @@ struct IterationTelemetry {
   std::int64_t quartets_quantized = 0;
   std::int64_t quartets_pruned = 0;
 
-  // Per-stage split of the Fock build (CPU seconds).
+  // Per-stage split of the Fock build: eri/digest are summed per-shard CPU
+  // seconds; route is the wall-clock of the dmax + routing pass.
   double eri_seconds = 0.0;
   double digest_seconds = 0.0;
+  double route_seconds = 0.0;
 
   // Resilience state after the iteration.
   int ladder_rung = 0;  ///< highest recovery rung reached so far

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <map>
+#include <optional>
+#include <span>
 
 #include "compilermako/registry.hpp"
 #include "core/execution_context.hpp"
@@ -70,19 +71,85 @@ void digest_quartet(const MatrixD& d, MatrixD& j, MatrixD& k, const Shell& sa,
   }
 }
 
-struct PendingQuartet {
-  std::uint32_t a, b, c, d;
-  float weight;
-};
+/// Runs fn(s) for s in [0, n).  n <= 1 runs inline without touching the pool
+/// (and without materializing a std::function, keeping the serial steady
+/// state allocation-free).
+template <typename Fn>
+void run_sharded(ThreadPool& pool, std::size_t n, const Fn& fn) {
+  if (n <= 1) {
+    if (n == 1) fn(0);
+    return;
+  }
+  pool.parallel_for(n, [&](std::size_t s) { fn(s); });
+}
+
+/// Row boundary of routing shard `s` of `nroute` over the pair triangle:
+/// bra row bi spans kets [bi, np), so row bi holds np - bi quartets and the
+/// balanced-area boundary follows 1 - sqrt(1 - s/nroute).
+std::size_t route_boundary(std::size_t np, std::size_t s, std::size_t nroute) {
+  if (s == 0) return 0;
+  if (s >= nroute) return np;
+  const double frac =
+      static_cast<double>(s) / static_cast<double>(nroute);
+  const double r =
+      static_cast<double>(np) * (1.0 - std::sqrt(1.0 - frac));
+  return std::min(np, static_cast<std::size_t>(std::llround(r)));
+}
 
 }  // namespace
+
+/// Reusable working buffers of one builder: the dmax matrix, per-shard
+/// routing buckets, the flattened batch-task list, and per-shard digestion
+/// accumulators.  Everything here is cleared (capacity retained) rather than
+/// reallocated, so steady-state build_jk calls perform no heap allocation.
+struct FockBuilder::Scratch {
+  struct Bucket {
+    std::vector<QuartetRef> refs;  ///< ready-to-batch, class-homogeneous
+    std::vector<float> weights;    ///< parallel to refs
+  };
+  struct RouteShard {
+    std::vector<Bucket> buckets;  ///< [class_slot * 2 + quantized]
+    std::int64_t fp64 = 0;
+    std::int64_t quantized = 0;
+    std::int64_t pruned = 0;
+    std::int64_t visited = 0;
+    std::int64_t pruned_early = 0;
+  };
+  struct BatchTask {
+    const EriClassPlan* cplan = nullptr;
+    const BatchedEriEngine* engine = nullptr;
+    const Bucket* bucket = nullptr;
+    std::size_t start = 0, count = 0;
+  };
+  struct DigestShard {
+    MatrixD j, k;
+    std::vector<std::vector<double>> out;
+    /// Inner buffers parked here when a batch is smaller than the previous
+    /// one: compute_batch resizes `out` to the exact batch size, and letting
+    /// the shrink destroy warmed vectors would re-allocate them on the next
+    /// full-size batch.
+    std::vector<std::vector<double>> spare;
+    EriScratch eri;
+    double eri_seconds = 0.0;
+    double digest_seconds = 0.0;
+    double gemm_flops = 0.0;
+  };
+
+  MatrixD dmax;                        ///< per-shell-pair density maxima
+  std::vector<double> dmax_shard_max;  ///< per-shard |D| block maxima
+  std::vector<std::size_t> route_rows;  ///< nroute+1 shard row boundaries
+  std::vector<RouteShard> route;
+  std::vector<BatchTask> tasks;
+  std::vector<DigestShard> digest;
+};
 
 FockBuilder::FockBuilder(const BasisSet& basis, FockOptions options,
                          const ExecutionContext* ctx)
     : basis_(basis),
       options_(options),
       ctx_(ctx != nullptr ? ctx : &ExecutionContext::process()),
-      schwarz_(schwarz_bounds(basis)) {
+      plan_(ctx_->components().get<FockPlanCache>().get(basis, ctx_->pool())),
+      scratch_(std::make_unique<Scratch>()) {
   // CompilerMako static planning: warm the context's plan cache up front so
   // the first Fock build's hot path starts with every class plan resolved.
   if (options_.engine == EriEngineKind::kMako) {
@@ -90,203 +157,319 @@ FockBuilder::FockBuilder(const BasisSet& basis, FockOptions options,
   }
 }
 
+FockBuilder::~FockBuilder() = default;
+
 FockStats FockBuilder::build_jk(const MatrixD& density,
                                 const IterationPolicy& policy, MatrixD& j,
                                 MatrixD& k) const {
   obs::TraceSpan build_span(obs::TraceCat::kFock, "fock.build_jk");
   MAKO_METRIC_COUNT("fock.builds", 1);
   FockStats stats;
+  Scratch& scratch = *scratch_;
+  const FockPlan& plan = *plan_;
+  const auto& pairs = plan.pairs();
+  const std::size_t np = pairs.size();
   const auto& shells = basis_.shells();
   const std::size_t ns = shells.size();
+  const std::size_t nbf = basis_.nbf();
+  const std::size_t nslots = plan.quartet_classes().size();
   // Matrix::resize value-initializes every element, so no explicit fill.
-  j.resize(basis_.nbf(), basis_.nbf(), 0.0);
-  k.resize(basis_.nbf(), basis_.nbf(), 0.0);
+  j.resize(nbf, nbf, 0.0);
+  k.resize(nbf, nbf, 0.0);
 
-  // Per-shell-pair density maxima for density-weighted screening.
-  MatrixD dmax(ns, ns, 0.0);
-  for (std::size_t a = 0; a < ns; ++a) {
-    for (std::size_t b = 0; b < ns; ++b) {
-      dmax(a, b) = shell_block_max(density, shells[a], shells[b]);
-    }
+  ThreadPool& pool = ctx_->pool();
+  // The reference engine stays deliberately serial: it models the
+  // irregular per-quartet baseline, and its eval/digest runs inline in the
+  // routing loop.
+  const bool par =
+      options_.parallel && options_.engine == EriEngineKind::kMako;
+
+  std::optional<ReferenceEriEngine> ref_engine;
+  if (options_.engine == EriEngineKind::kReference) {
+    ref_engine.emplace(options_.max_engine_l);
   }
+  std::vector<double> ref_vals;
+  double ref_eri_seconds = 0.0;
+  double ref_digest_seconds = 0.0;
 
-  // Buckets: per (class, precision-route) quartet lists for the Mako engine;
-  // the reference engine consumes quartets immediately.
-  std::map<std::pair<EriClassKey, bool>, std::vector<PendingQuartet>> buckets;
-  ReferenceEriEngine ref_engine(options_.max_engine_l);
-  std::vector<double> quartet_vals;
-  Timer eri_timer;
-  double digest_seconds = 0.0;
-
-  auto process_reference = [&](const PendingQuartet& pq, bool quantized) {
-    const Shell& sa = shells[pq.a];
-    const Shell& sb = shells[pq.b];
-    const Shell& sc = shells[pq.c];
-    const Shell& sd = shells[pq.d];
-    ref_engine.compute(sa, sb, sc, sd, quartet_vals);
-    if (quantized) {
-      // The reference engine has no tensor-core path; quantized routing
-      // degrades to FP64 (it exists for protocol parity in comparisons).
-      (void)quantized;
-    }
-    Timer dt;
-    digest_quartet(density, j, k, sa, sb, sc, sd, pq.weight, quartet_vals);
-    digest_seconds += dt.seconds();
-  };
-
-  // Screening + routing (for the reference engine the quartet work itself
-  // also runs inside this span).
+  // --- Density-dependent pass 1: per-shell-pair density maxima ------------
+  // (iteration-invariant counterpart — bounds, pair order, class partition —
+  // comes precomputed from the FockPlan).
   obs::TraceSpan screen_span(obs::TraceCat::kFock, "fock.screen");
-  for (std::size_t a = 0; a < ns; ++a) {
-    for (std::size_t b = 0; b <= a; ++b) {
-      const double qab = schwarz_(a, b);
-      for (std::size_t c = 0; c <= a; ++c) {
-        const std::size_t dtop = (c == a) ? b : c;
-        for (std::size_t dd = 0; dd <= dtop; ++dd) {
-          const double qcd = schwarz_(c, dd);
-          // Density-weighted Schwarz estimate over the six digest blocks.
-          const double dw =
-              std::max({dmax(a, b), dmax(c, dd), dmax(a, c), dmax(a, dd),
-                        dmax(b, c), dmax(b, dd)});
-          const double bound = qab * qcd * std::max(dw, 1e-30);
-          const IntegralClass route =
-              policy.allow_quantized
-                  ? classify_integral(bound, policy.fp64_threshold,
-                                      policy.prune_threshold)
-                  : (bound >= policy.prune_threshold ? IntegralClass::kFull
-                                                     : IntegralClass::kPruned);
-          if (route == IntegralClass::kPruned) {
-            ++stats.quartets_pruned;
-            continue;
-          }
-          const bool quantized = route == IntegralClass::kQuantized;
-          if (quantized) {
-            ++stats.quartets_quantized;
-          } else {
-            ++stats.quartets_fp64;
-          }
+  Timer route_timer;
+  const std::size_t ndm =
+      par ? std::min(ns, std::max<std::size_t>(pool.size(), 1)) : 1;
+  scratch.dmax.resize(ns, ns, 0.0);
+  scratch.dmax_shard_max.assign(std::max<std::size_t>(ndm, 1), 0.0);
+  run_sharded(pool, ndm, [&](std::size_t s) {
+    const std::size_t lo = s * ns / ndm;
+    const std::size_t hi = (s + 1) * ns / ndm;
+    double local = 0.0;
+    for (std::size_t a = lo; a < hi; ++a) {
+      for (std::size_t b = 0; b < ns; ++b) {
+        const double m = shell_block_max(density, shells[a], shells[b]);
+        scratch.dmax(a, b) = m;
+        local = std::max(local, m);
+      }
+    }
+    scratch.dmax_shard_max[s] = local;
+  });
+  double dmax_global = 0.0;
+  for (std::size_t s = 0; s < ndm; ++s) {
+    dmax_global = std::max(dmax_global, scratch.dmax_shard_max[s]);
+  }
+  const MatrixD& dmax = scratch.dmax;
 
-          double weight = 1.0;
-          if (a == b) weight *= 0.5;
-          if (c == dd) weight *= 0.5;
-          if (a == c && b == dd) weight *= 0.5;
-          PendingQuartet pq{static_cast<std::uint32_t>(a),
-                            static_cast<std::uint32_t>(b),
-                            static_cast<std::uint32_t>(c),
-                            static_cast<std::uint32_t>(dd),
-                            static_cast<float>(weight)};
+  // --- Density-dependent pass 2: route every surviving quartet ------------
+  // Pairs are sorted descending by Schwarz bound, so once
+  // q_bra * q_ket * dmax_global drops below the smallest keep threshold the
+  // rest of the scan is prunable in bulk without being visited.  With
+  // prune_threshold == 0 the early exit never fires and every quartet is
+  // visited, exactly like the exhaustive loop this replaces.
+  const double min_keep =
+      policy.allow_quantized
+          ? std::min(policy.fp64_threshold, policy.prune_threshold)
+          : policy.prune_threshold;
+  const double dcap = std::max(dmax_global, 1e-30);
 
-          if (options_.engine == EriEngineKind::kReference) {
-            process_reference(pq, quantized);
-          } else {
-            QuartetRef qr{&shells[a], &shells[b], &shells[c], &shells[dd]};
-            buckets[{BatchedEriEngine::classify(qr), quantized}].push_back(pq);
-          }
+  std::size_t nroute = 1;
+  if (par && np > 0) {
+    nroute = std::min(std::max<std::size_t>(pool.size(), 1), (np + 7) / 8);
+    nroute = std::max<std::size_t>(nroute, 1);
+  }
+  scratch.route_rows.resize(nroute + 1);
+  for (std::size_t s = 0; s <= nroute; ++s) {
+    scratch.route_rows[s] =
+        std::max(route_boundary(np, s, nroute),
+                 s > 0 ? scratch.route_rows[s - 1] : std::size_t{0});
+  }
+  scratch.route.resize(nroute);
+
+  run_sharded(pool, nroute, [&](std::size_t s) {
+    Scratch::RouteShard& rs = scratch.route[s];
+    rs.buckets.resize(nslots * 2);
+    for (Scratch::Bucket& bk : rs.buckets) {
+      bk.refs.clear();
+      bk.weights.clear();
+    }
+    rs.fp64 = rs.quantized = rs.pruned = 0;
+    rs.visited = rs.pruned_early = 0;
+
+    const std::size_t lo = scratch.route_rows[s];
+    const std::size_t hi = scratch.route_rows[s + 1];
+    for (std::size_t bi = lo; bi < hi; ++bi) {
+      const FockShellPair& pb = pairs[bi];
+      // Row-level exit: every quartet with both pair indices >= bi is
+      // bounded by q_bi^2 * dcap; below the keep threshold the rest of this
+      // shard's triangle prunes as a closed form.
+      if (pb.q * pb.q * dcap < min_keep) {
+        const std::int64_t m = static_cast<std::int64_t>(hi - bi);
+        const std::int64_t rem =
+            m * static_cast<std::int64_t>(np - bi) - m * (m - 1) / 2;
+        rs.pruned += rem;
+        rs.pruned_early += rem;
+        break;
+      }
+      for (std::size_t ki = bi; ki < np; ++ki) {
+        const FockShellPair& pk = pairs[ki];
+        if (pb.q * pk.q * dcap < min_keep) {
+          const std::int64_t rem = static_cast<std::int64_t>(np - ki);
+          rs.pruned += rem;
+          rs.pruned_early += rem;
+          break;
+        }
+        ++rs.visited;
+        // Preserve the canonical role order of the exhaustive enumeration
+        // (bra = lexicographically greater pair) so the density-weighted
+        // bound and the digestion see identical index roles.
+        const FockShellPair* bra = &pb;
+        const FockShellPair* ket = &pk;
+        if (pk.i1 > pb.i1 || (pk.i1 == pb.i1 && pk.i2 > pb.i2)) {
+          std::swap(bra, ket);
+        }
+        const std::size_t a = bra->i1, b = bra->i2;
+        const std::size_t c = ket->i1, dd = ket->i2;
+        // Density-weighted Schwarz estimate over the six digest blocks.
+        const double dw =
+            std::max({dmax(a, b), dmax(c, dd), dmax(a, c), dmax(a, dd),
+                      dmax(b, c), dmax(b, dd)});
+        const double bound = bra->q * ket->q * std::max(dw, 1e-30);
+        const IntegralClass route =
+            policy.allow_quantized
+                ? classify_integral(bound, policy.fp64_threshold,
+                                    policy.prune_threshold)
+                : (bound >= policy.prune_threshold ? IntegralClass::kFull
+                                                   : IntegralClass::kPruned);
+        if (route == IntegralClass::kPruned) {
+          ++rs.pruned;
+          continue;
+        }
+        const bool quantized = route == IntegralClass::kQuantized;
+        if (quantized) {
+          ++rs.quantized;
+        } else {
+          ++rs.fp64;
+        }
+        const float weight = pb.self_weight * pk.self_weight *
+                             (bi == ki ? 0.5f : 1.0f);
+
+        if (options_.engine == EriEngineKind::kReference) {
+          // Serial baseline: evaluate and digest inline (the reference
+          // engine has no tensor-core path; quantized routing degrades to
+          // FP64 — it exists for protocol parity in comparisons).
+          const Shell& sa = *bra->s1;
+          const Shell& sb = *bra->s2;
+          const Shell& sc = *ket->s1;
+          const Shell& sd = *ket->s2;
+          Timer et;
+          ref_engine->compute(sa, sb, sc, sd, ref_vals);
+          ref_eri_seconds += et.seconds();
+          Timer dt;
+          digest_quartet(density, j, k, sa, sb, sc, sd, weight, ref_vals);
+          ref_digest_seconds += dt.seconds();
+        } else {
+          const std::uint32_t slot = plan.class_slot(bra->klass, ket->klass);
+          Scratch::Bucket& bk =
+              rs.buckets[slot * 2 + (quantized ? 1u : 0u)];
+          bk.refs.push_back(QuartetRef{bra->s1, bra->s2, ket->s1, ket->s2});
+          bk.weights.push_back(weight);
         }
       }
     }
+  });
+
+  // Deterministic reduction: shard counters in shard order.
+  for (std::size_t s = 0; s < nroute; ++s) {
+    const Scratch::RouteShard& rs = scratch.route[s];
+    stats.quartets_fp64 += rs.fp64;
+    stats.quartets_quantized += rs.quantized;
+    stats.quartets_pruned += rs.pruned;
+    stats.screen_visited += rs.visited;
+    stats.screen_pruned_early += rs.pruned_early;
   }
   screen_span.end();
+  stats.route_seconds = std::max(
+      0.0, route_timer.seconds() - ref_eri_seconds - ref_digest_seconds);
 
-  if (options_.engine == EriEngineKind::kMako && !buckets.empty()) {
+  if (options_.engine == EriEngineKind::kMako) {
     // Serial section: resolve one engine per (class, precision) — reused
     // across buckets and across successive build_jk calls — and flatten the
-    // buckets into per-batch tasks for the pool.
-    struct BatchTask {
-      const EriClassKey* key;
-      const std::vector<PendingQuartet>* list;
-      const BatchedEriEngine* engine;
-      std::size_t start, count;
-    };
-    std::vector<BatchTask> tasks;
-    for (const auto& [key_route, list] : buckets) {
-      const EriClassKey& key = key_route.first;
-      const bool quantized = key_route.second;
+    // shard buckets into per-batch tasks for the pool.  Task order (shard-
+    // major, then class slot, then precision route) is independent of the
+    // pool, so repeated builds schedule identically.
+    scratch.tasks.clear();
+    for (std::size_t s = 0; s < nroute; ++s) {
+      Scratch::RouteShard& rs = scratch.route[s];
+      for (std::size_t slot = 0; slot < nslots; ++slot) {
+        for (int q = 0; q < 2; ++q) {
+          Scratch::Bucket& bk = rs.buckets[slot * 2 + q];
+          if (bk.refs.empty()) continue;
+          const bool quantized = q == 1;
+          const EriClassKey& key = plan.quartet_classes()[slot];
 
-      KernelConfig config = options_.kernel;
-      config.gemm.precision =
-          quantized ? policy.quant_precision : Precision::kFP64;
-      if (options_.tuner != nullptr) {
-        if (auto tuned = options_.tuner->lookup(key, config.gemm.precision)) {
-          const bool gs = config.group_scaling;
-          config = tuned->config;
-          config.group_scaling = gs;
+          KernelConfig config = options_.kernel;
+          config.gemm.precision =
+              quantized ? policy.quant_precision : Precision::kFP64;
+          if (options_.tuner != nullptr) {
+            if (auto tuned =
+                    options_.tuner->lookup(key, config.gemm.precision)) {
+              const bool gs = config.group_scaling;
+              config = tuned->config;
+              config.group_scaling = gs;
+            }
+          }
+          // Engines are bound to the context's backend and plan cache at
+          // construction; only the config is re-resolved per build.
+          BatchedEriEngine& engine =
+              engines_
+                  .try_emplace(std::make_pair(key, config.gemm.precision),
+                               config, &ctx_->backend(), &ctx_->plans())
+                  .first->second;
+          engine.set_config(config);
+          const EriClassPlan& cplan = ctx_->plans().get(key);
+
+          for (std::size_t start = 0; start < bk.refs.size();
+               start += options_.batch_size) {
+            const std::size_t count =
+                std::min(options_.batch_size, bk.refs.size() - start);
+            scratch.tasks.push_back(
+                Scratch::BatchTask{&cplan, &engine, &bk, start, count});
+          }
         }
-      }
-      // Engines are bound to the context's backend and plan cache at
-      // construction; only the config is re-resolved per build.
-      BatchedEriEngine& engine =
-          engines_
-              .try_emplace(std::make_pair(key, config.gemm.precision), config,
-                           &ctx_->backend(), &ctx_->plans())
-              .first->second;
-      engine.set_config(config);
-
-      for (std::size_t start = 0; start < list.size();
-           start += options_.batch_size) {
-        const std::size_t count =
-            std::min(options_.batch_size, list.size() - start);
-        tasks.push_back(BatchTask{&key, &list, &engine, start, count});
       }
     }
 
     // Parallel section: shards claim tasks round-robin and digest into
     // per-shard J/K accumulators (second stage of dual-stage accumulation,
-    // FP64 throughout), reduced deterministically afterwards.
-    ThreadPool& pool = ctx_->pool();
-    const std::size_t nshards =
+    // FP64 throughout), reduced deterministically afterwards.  Batches are
+    // class-segmented by construction, so the engine skips its per-quartet
+    // homogeneity checks (verify_class = false).
+    Timer jk_timer;
+    const std::size_t ndig =
         options_.parallel
-            ? std::min(tasks.size(), std::max<std::size_t>(pool.size(), 1))
-            : 1;
-    struct Shard {
-      MatrixD j, k;
-      double digest_seconds = 0.0;
-      double gemm_flops = 0.0;
-    };
-    std::vector<Shard> shards(nshards);
-    const std::size_t nbf = basis_.nbf();
-    pool.parallel_for(nshards, [&](std::size_t s) {
+            ? std::min(scratch.tasks.size(),
+                       std::max<std::size_t>(pool.size(), 1))
+            : std::min<std::size_t>(scratch.tasks.size(), 1);
+    scratch.digest.resize(ndig);
+    run_sharded(pool, ndig, [&](std::size_t s) {
       obs::TraceSpan shard_span(obs::TraceCat::kFock, "fock.shard");
       if (shard_span.active()) {
         char args[32];
         std::snprintf(args, sizeof args, "\"shard\":%zu", s);
         shard_span.set_args(args);
       }
-      Shard& shard = shards[s];
+      Scratch::DigestShard& shard = scratch.digest[s];
       shard.j.resize(nbf, nbf, 0.0);
       shard.k.resize(nbf, nbf, 0.0);
-      std::vector<std::vector<double>> out;
-      std::vector<QuartetRef> refs;
-      for (std::size_t t = s; t < tasks.size(); t += nshards) {
-        const BatchTask& task = tasks[t];
-        refs.clear();
-        for (std::size_t i = 0; i < task.count; ++i) {
-          const PendingQuartet& pq = (*task.list)[task.start + i];
-          refs.push_back(QuartetRef{&shells[pq.a], &shells[pq.b],
-                                    &shells[pq.c], &shells[pq.d]});
+      shard.eri_seconds = shard.digest_seconds = shard.gemm_flops = 0.0;
+      for (std::size_t t = s; t < scratch.tasks.size(); t += ndig) {
+        const Scratch::BatchTask& task = scratch.tasks[t];
+        const std::span<const QuartetRef> batch(
+            task.bucket->refs.data() + task.start, task.count);
+        // Park or reclaim warmed output buffers so compute_batch's
+        // exact-size resize never frees capacity across batch sizes.
+        while (shard.out.size() > task.count) {
+          shard.spare.push_back(std::move(shard.out.back()));
+          shard.out.pop_back();
         }
+        while (shard.out.size() < task.count && !shard.spare.empty()) {
+          shard.out.push_back(std::move(shard.spare.back()));
+          shard.spare.pop_back();
+        }
+        Timer et;
         const BatchStats bs = task.engine->compute_batch(
-            *task.key, std::span<const QuartetRef>(refs), out);
+            *task.cplan, batch, shard.out, shard.eri,
+            /*verify_class=*/false);
+        shard.eri_seconds += et.seconds();
         shard.gemm_flops += bs.gemm_flops;
         Timer dt;
         for (std::size_t i = 0; i < task.count; ++i) {
-          const PendingQuartet& pq = (*task.list)[task.start + i];
-          digest_quartet(density, shard.j, shard.k, shells[pq.a],
-                         shells[pq.b], shells[pq.c], shells[pq.d], pq.weight,
-                         out[i]);
+          const QuartetRef& qr = batch[i];
+          digest_quartet(density, shard.j, shard.k, *qr.a, *qr.b, *qr.c,
+                         *qr.d, task.bucket->weights[task.start + i],
+                         shard.out[i]);
         }
         shard.digest_seconds += dt.seconds();
       }
     });
-    MAKO_TRACE_SCOPE(obs::TraceCat::kFock, "fock.reduce");
-    for (const Shard& shard : shards) {
-      j += shard.j;
-      k += shard.k;
-      stats.gemm_flops += shard.gemm_flops;
-      // Summed across shards: with real concurrency this can exceed the
-      // wall-clock digest window (it is CPU time, not elapsed time).
-      digest_seconds += shard.digest_seconds;
+    {
+      MAKO_TRACE_SCOPE(obs::TraceCat::kFock, "fock.reduce");
+      for (std::size_t s = 0; s < ndig; ++s) {
+        const Scratch::DigestShard& shard = scratch.digest[s];
+        j += shard.j;
+        k += shard.k;
+        stats.gemm_flops += shard.gemm_flops;
+        // Summed across shards: with real concurrency these CPU-time sums
+        // can exceed the wall-clock window (jk_wall_seconds).
+        stats.eri_seconds += shard.eri_seconds;
+        stats.digest_seconds += shard.digest_seconds;
+      }
     }
+    stats.jk_wall_seconds = jk_timer.seconds();
+  } else {
+    stats.eri_seconds = ref_eri_seconds;
+    stats.digest_seconds = ref_digest_seconds;
+    stats.jk_wall_seconds = ref_eri_seconds + ref_digest_seconds;
   }
 
   // Injection site: poison one J entry after digestion, but only for builds
@@ -298,20 +481,25 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
     ctx_->faults().corrupt("fock.j_poison", j.data(), j.size());
   }
 
-  stats.eri_seconds = eri_timer.seconds() - digest_seconds;
-  stats.digest_seconds = digest_seconds;
   MAKO_METRIC_COUNT("fock.quartets_fp64", stats.quartets_fp64);
   MAKO_METRIC_COUNT("fock.quartets_quantized", stats.quartets_quantized);
   MAKO_METRIC_COUNT("fock.quartets_pruned", stats.quartets_pruned);
+  MAKO_METRIC_COUNT("fock.screen_visited", stats.screen_visited);
+  MAKO_METRIC_COUNT("fock.screen_pruned_early", stats.screen_pruned_early);
   MAKO_METRIC_OBSERVE("fock.eri_s", stats.eri_seconds);
   MAKO_METRIC_OBSERVE("fock.digest_s", stats.digest_seconds);
+  MAKO_METRIC_OBSERVE("fock.route_s", stats.route_seconds);
+  MAKO_METRIC_OBSERVE("fock.jk_wall_s", stats.jk_wall_seconds);
   if (build_span.active()) {
-    char args[128];
+    char args[192];
     std::snprintf(args, sizeof args,
-                  "\"fp64\":%lld,\"quantized\":%lld,\"pruned\":%lld",
+                  "\"fp64\":%lld,\"quantized\":%lld,\"pruned\":%lld,"
+                  "\"visited\":%lld,\"pruned_early\":%lld",
                   static_cast<long long>(stats.quartets_fp64),
                   static_cast<long long>(stats.quartets_quantized),
-                  static_cast<long long>(stats.quartets_pruned));
+                  static_cast<long long>(stats.quartets_pruned),
+                  static_cast<long long>(stats.screen_visited),
+                  static_cast<long long>(stats.screen_pruned_early));
     build_span.set_args(args);
   }
   return stats;

@@ -6,6 +6,12 @@
 // per-quartet engine or KernelMako's batched engine, and digests the
 // integrals into the Coulomb (J) and exchange (K) matrices at FP64 — the
 // second stage of dual-stage accumulation.
+//
+// The iteration-invariant part of that work (Schwarz bounds, the sorted
+// significant-pair list, the quartet->class partition) lives in a FockPlan
+// built once per basis and cached on the ExecutionContext; build_jk performs
+// only the density-dependent routing pass — parallelized over pair blocks —
+// plus batch evaluation and digestion.  See fock_plan.hpp.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +25,7 @@
 #include "kernelmako/batched_eri.hpp"
 #include "linalg/matrix.hpp"
 #include "quantmako/scheduler.hpp"
+#include "scf/fock_plan.hpp"
 
 namespace mako {
 
@@ -37,29 +44,48 @@ struct FockOptions {
   Autotuner* tuner = nullptr;     ///< optional per-class tuned configs
   std::size_t batch_size = 32;    ///< quartets per Mako batch
   int max_engine_l = 6;           ///< reference-engine angular momentum cap
-  /// Shard Mako batch evaluation + J/K digestion across the global thread
-  /// pool (per-shard accumulators, deterministic reduction).  Degrades to
-  /// inline execution on a single hardware thread.
+  /// Shard the routing pass, Mako batch evaluation, and J/K digestion across
+  /// the global thread pool (per-shard accumulators, deterministic
+  /// reduction).  Degrades to inline execution on a single hardware thread.
   bool parallel = true;
 };
 
 /// Execution statistics of one Fock build.
+///
+/// The per-stage timers are summed per-shard CPU time (eri/digest) or
+/// wall-clock (route/jk_wall); every field is non-negative by construction.
+/// With real concurrency the CPU sums legitimately exceed the corresponding
+/// wall-clock window — compare eri+digest against jk_wall_seconds to read
+/// the parallel efficiency.
 struct FockStats {
   std::int64_t quartets_fp64 = 0;
   std::int64_t quartets_quantized = 0;
   std::int64_t quartets_pruned = 0;
-  double eri_seconds = 0.0;
-  double digest_seconds = 0.0;
+  /// Quartets whose density-weighted bound was actually evaluated.
+  std::int64_t screen_visited = 0;
+  /// Quartets pruned in bulk by the sorted-pair early exit without ever
+  /// being visited (counted into quartets_pruned as well).
+  std::int64_t screen_pruned_early = 0;
+  double eri_seconds = 0.0;     ///< summed shard CPU in batch/quartet eval
+  double digest_seconds = 0.0;  ///< summed shard CPU in J/K digestion
+  double route_seconds = 0.0;   ///< wall clock of dmax + routing pass
+  double jk_wall_seconds = 0.0; ///< wall clock of eval+digest+reduce phase
   double gemm_flops = 0.0;
 };
 
 /// Builds J and K for a given (symmetric) density matrix.
+///
+/// Thread-compatible, not thread-safe: one builder per concurrent caller
+/// (build_jk reuses per-builder scratch buffers across calls).
 class FockBuilder {
  public:
   /// `ctx` supplies the GEMM backend, plan cache, thread pool, and fault
-  /// hooks of the run; null borrows ExecutionContext::process().
+  /// hooks of the run; null borrows ExecutionContext::process().  The
+  /// FockPlan is resolved from the context's FockPlanCache, so repeated
+  /// builders over one live basis share one plan.
   FockBuilder(const BasisSet& basis, FockOptions options = {},
               const ExecutionContext* ctx = nullptr);
+  ~FockBuilder();
 
   /// Computes the Coulomb and exchange matrices of `density` (AO basis,
   /// closed-shell convention D = 2 * C_occ C_occ^T) under the given
@@ -67,22 +93,28 @@ class FockBuilder {
   FockStats build_jk(const MatrixD& density, const IterationPolicy& policy,
                      MatrixD& j, MatrixD& k) const;
 
-  [[nodiscard]] const MatrixD& schwarz() const noexcept { return schwarz_; }
+  [[nodiscard]] const MatrixD& schwarz() const noexcept {
+    return plan_->schwarz();
+  }
+  [[nodiscard]] const FockPlan& plan() const noexcept { return *plan_; }
   [[nodiscard]] const FockOptions& options() const noexcept {
     return options_;
   }
 
  private:
+  struct Scratch;  ///< reusable per-builder working buffers (fock.cpp)
+
   const BasisSet& basis_;
   FockOptions options_;
   const ExecutionContext* ctx_;  ///< never null after construction
-  MatrixD schwarz_;  ///< shell-pair Schwarz bounds
+  std::shared_ptr<const FockPlan> plan_;  ///< cache-shared, never null
   /// One Mako engine per (class, precision), reused across buckets and
   /// successive build_jk calls (configs are re-resolved each call; the
   /// engine identity — and with it the per-thread scratch warm-up — is
   /// preserved).  Mutated only in the serial section of build_jk.
   mutable std::map<std::pair<EriClassKey, Precision>, BatchedEriEngine>
       engines_;
+  mutable std::unique_ptr<Scratch> scratch_;
 };
 
 }  // namespace mako

@@ -1,0 +1,177 @@
+#include "scf/fock_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+#include "integrals/schwarz.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace mako {
+namespace {
+
+inline void fnv1a(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+}
+
+}  // namespace
+
+FockPlan::FockPlan(const BasisSet& basis, ThreadPool& pool) {
+  obs::TraceSpan span(obs::TraceCat::kFock, "fock.plan_build");
+  Timer timer;
+
+  schwarz_ = schwarz_bounds(basis, &pool);
+
+  const auto& shells = basis.shells();
+  const std::size_t ns = shells.size();
+
+  // Pair table: every symmetry-unique pair with its class id and Schwarz
+  // bound, then sorted descending by bound so the routing scan can exit
+  // early.  Ties break on shell indices to keep the order deterministic.
+  std::map<std::tuple<int, int, int>, std::uint32_t> pair_class_ids;
+  pairs_.reserve(ns * (ns + 1) / 2);
+  for (std::size_t i1 = 0; i1 < ns; ++i1) {
+    for (std::size_t i2 = 0; i2 <= i1; ++i2) {
+      const Shell& s1 = shells[i1];
+      const Shell& s2 = shells[i2];
+      const std::tuple<int, int, int> pc{s1.l, s2.l,
+                                         s1.nprim() * s2.nprim()};
+      const std::uint32_t id =
+          pair_class_ids
+              .try_emplace(pc,
+                           static_cast<std::uint32_t>(pair_class_ids.size()))
+              .first->second;
+      FockShellPair pair;
+      pair.s1 = &s1;
+      pair.s2 = &s2;
+      pair.i1 = static_cast<std::uint32_t>(i1);
+      pair.i2 = static_cast<std::uint32_t>(i2);
+      pair.klass = id;
+      pair.self_weight = (i1 == i2) ? 0.5f : 1.0f;
+      pair.q = schwarz_(i1, i2);
+      pairs_.push_back(pair);
+    }
+  }
+  std::sort(pairs_.begin(), pairs_.end(),
+            [](const FockShellPair& a, const FockShellPair& b) {
+              if (a.q != b.q) return a.q > b.q;
+              if (a.i1 != b.i1) return a.i1 < b.i1;
+              return a.i2 < b.i2;
+            });
+
+  // Quartet-class table: class key of (bra pair class x ket pair class),
+  // deduplicated into slots.  O(1) lookup replaces the per-quartet
+  // std::map bucket the old screen phase paid on every iteration.
+  npc_ = pair_class_ids.size();
+  std::vector<std::tuple<int, int, int>> rep(npc_);
+  for (const auto& [pc, id] : pair_class_ids) rep[id] = pc;
+  slot_.resize(npc_ * npc_);
+  std::map<EriClassKey, std::uint32_t> class_ids;
+  for (std::size_t bc = 0; bc < npc_; ++bc) {
+    for (std::size_t kc = 0; kc < npc_; ++kc) {
+      EriClassKey key;
+      key.la = std::get<0>(rep[bc]);
+      key.lb = std::get<1>(rep[bc]);
+      key.kab = std::get<2>(rep[bc]);
+      key.lc = std::get<0>(rep[kc]);
+      key.ld = std::get<1>(rep[kc]);
+      key.kcd = std::get<2>(rep[kc]);
+      const std::uint32_t slot =
+          class_ids
+              .try_emplace(key, static_cast<std::uint32_t>(class_ids.size()))
+              .first->second;
+      slot_[bc * npc_ + kc] = slot;
+    }
+  }
+  classes_.resize(class_ids.size());
+  for (const auto& [key, slot] : class_ids) classes_[slot] = key;
+
+  MAKO_METRIC_OBSERVE("fock.plan_build_s", timer.seconds());
+  if (span.active()) {
+    char args[96];
+    std::snprintf(args, sizeof args, "\"pairs\":%zu,\"classes\":%zu",
+                  pairs_.size(), classes_.size());
+    span.set_args(args);
+  }
+}
+
+std::uint64_t FockPlan::fingerprint(const BasisSet& basis) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  const std::size_t ns = basis.num_shells();
+  const std::size_t nbf = basis.nbf();
+  fnv1a(h, &ns, sizeof ns);
+  fnv1a(h, &nbf, sizeof nbf);
+  for (const Shell& s : basis.shells()) {
+    fnv1a(h, &s.l, sizeof s.l);
+    fnv1a(h, &s.atom, sizeof s.atom);
+    fnv1a(h, &s.sph_offset, sizeof s.sph_offset);
+    fnv1a(h, s.center.data(), 3 * sizeof(double));
+    fnv1a(h, s.exponents.data(), s.exponents.size() * sizeof(double));
+    fnv1a(h, s.coefficients.data(), s.coefficients.size() * sizeof(double));
+  }
+  return h;
+}
+
+std::shared_ptr<const FockPlan> FockPlanCache::get(const BasisSet& basis,
+                                                   ThreadPool& pool) {
+  const Key key{basis.shells().data(), basis.num_shells(), basis.nbf(),
+                FockPlan::fingerprint(basis)};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      ++hits_;
+      MAKO_METRIC_COUNT("fock.plan_cache_hits", 1);
+      return it->second;
+    }
+  }
+  // Build outside the lock: plan construction runs a parallel Schwarz pass
+  // and must not serialize unrelated lookups behind it.  A concurrent build
+  // of the same basis is benign — last writer wins, both plans are correct.
+  auto plan = std::make_shared<const FockPlan>(basis, pool);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = plans_.try_emplace(key, plan);
+  if (!inserted) {
+    ++hits_;
+    return it->second;
+  }
+  ++builds_;
+  MAKO_METRIC_COUNT("fock.plan_builds", 1);
+  // Bound the cache: drop plans no builder holds anymore.  Entries for dead
+  // bases can never be hit again (the key embeds the shell-array address and
+  // content fingerprint), so evicting them only frees memory.
+  if (plans_.size() > 64) {
+    for (auto e = plans_.begin(); e != plans_.end();) {
+      if (e->second.use_count() == 1 && e->first < key) {
+        e = plans_.erase(e);
+      } else {
+        ++e;
+      }
+    }
+  }
+  return plan;
+}
+
+std::size_t FockPlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plans_.size();
+}
+
+std::int64_t FockPlanCache::builds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return builds_;
+}
+
+std::int64_t FockPlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+}  // namespace mako

@@ -1,0 +1,156 @@
+// Persistent Fock assembly plan (CompilerMako's static analysis applied to
+// the Fock build itself).
+//
+// Within one run the geometry never changes, so neither do the Schwarz
+// bounds, the shell-pair list, the quartet class keys, or the batch
+// partition.  Re-deriving all of that on every SCF iteration made the old
+// `fock.screen` phase an O(ns^4) serial scan with per-iteration
+// std::map/std::vector churn.  FockPlan bakes the iteration-invariant part
+// once per basis:
+//
+//   * the symmetry-unique shell-pair list sorted descending by Schwarz
+//     bound, which turns quartet enumeration output-sensitive: the sorted
+//     ket scan exits as soon as q_ab * q_cd * dmax_upper drops below the
+//     keep threshold, so negligible quartets are pruned in bulk without
+//     ever being visited;
+//   * per-pair shell pointers and symmetry self-weights, so routing emits
+//     ready-to-batch QuartetRefs instead of re-deriving them per iteration;
+//   * the pair-class algebra: every quartet's EriClassKey is a pure
+//     function of its (bra pair class, ket pair class), precomputed as a
+//     flat lookup table so the routing pass classifies in O(1) with no map.
+//
+// Only the density-dependent work — per-shell-pair density maxima and the
+// FP64/quantized/pruned route of each surviving quartet — remains in the
+// iteration loop (parallelized across the ExecutionContext pool by
+// FockBuilder).
+//
+// Plans are cached on the ExecutionContext (FockPlanCache via
+// ExecutionContext::components()), keyed by the basis identity and a content
+// fingerprint, so every FockBuilder over the same basis — including the
+// incremental-Fock rebuilds and gradient Fock builds of one run — shares one
+// plan.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "basis/basis_set.hpp"
+#include "kernelmako/eri_class.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mako {
+
+class ThreadPool;
+
+/// One symmetry-unique shell pair (i2 <= i1) of the sorted significant-pair
+/// list.
+struct FockShellPair {
+  const Shell* s1 = nullptr;  ///< shell of the larger index (bra `a` role)
+  const Shell* s2 = nullptr;  ///< shell of the smaller index (bra `b` role)
+  std::uint32_t i1 = 0, i2 = 0;  ///< shell indices, i2 <= i1
+  std::uint32_t klass = 0;       ///< pair-class id (index into the plan)
+  float self_weight = 1.0f;      ///< 0.5 on diagonal pairs (i1 == i2)
+  double q = 0.0;                ///< Schwarz bound of the pair
+};
+
+/// Immutable, iteration-invariant plan of one basis' Fock assembly.
+/// Thread-safe to share by const reference; holds pointers into the
+/// BasisSet's shell array, so it must not outlive the basis it was built
+/// from (the cache key guards against address reuse).
+class FockPlan {
+ public:
+  /// Builds the plan; the Schwarz-bound pass runs on `pool`.
+  FockPlan(const BasisSet& basis, ThreadPool& pool);
+
+  /// Shell-pair Schwarz bound matrix (num_shells x num_shells, symmetric).
+  [[nodiscard]] const MatrixD& schwarz() const noexcept { return schwarz_; }
+
+  /// Shell pairs sorted descending by Schwarz bound (ties broken by index
+  /// for determinism).
+  [[nodiscard]] const std::vector<FockShellPair>& pairs() const noexcept {
+    return pairs_;
+  }
+
+  [[nodiscard]] std::size_t num_pair_classes() const noexcept { return npc_; }
+
+  /// The distinct quartet classes of this basis, indexed by class slot.
+  [[nodiscard]] const std::vector<EriClassKey>& quartet_classes()
+      const noexcept {
+    return classes_;
+  }
+
+  /// Class slot (index into quartet_classes()) of the quartet formed by a
+  /// bra pair of class `bra_klass` and a ket pair of class `ket_klass`.
+  [[nodiscard]] std::uint32_t class_slot(std::uint32_t bra_klass,
+                                         std::uint32_t ket_klass)
+      const noexcept {
+    return slot_[bra_klass * npc_ + ket_klass];
+  }
+
+  /// Total symmetry-unique quartet count: npairs * (npairs + 1) / 2.
+  [[nodiscard]] std::int64_t num_unique_quartets() const noexcept {
+    const auto np = static_cast<std::int64_t>(pairs_.size());
+    return np * (np + 1) / 2;
+  }
+
+  /// Content fingerprint of a basis (FNV-1a over shells + geometry); part of
+  /// the plan cache key.
+  static std::uint64_t fingerprint(const BasisSet& basis);
+
+ private:
+  MatrixD schwarz_;
+  std::vector<FockShellPair> pairs_;
+  std::size_t npc_ = 0;                ///< number of distinct pair classes
+  std::vector<EriClassKey> classes_;   ///< distinct quartet classes
+  std::vector<std::uint32_t> slot_;    ///< [npc_ x npc_] -> class slot
+};
+
+/// Cache of FockPlans, anchored per ExecutionContext through
+/// ExecutionContext::components().  Keyed by the shell-array address plus a
+/// content fingerprint: a re-created identical basis at a new address gets a
+/// fresh plan (the old plan's Shell pointers would dangle), while repeated
+/// FockBuilder construction over a live basis hits the cache.
+///
+/// builds()/hits() are the CI-stable counters the plan-reuse ctest guard
+/// asserts on (counter-based, not timing-based).
+class FockPlanCache {
+ public:
+  FockPlanCache() = default;
+  FockPlanCache(const FockPlanCache&) = delete;
+  FockPlanCache& operator=(const FockPlanCache&) = delete;
+
+  /// Returns the cached plan of `basis`, building (on `pool`) at most once
+  /// per live basis.  Thread-safe.
+  std::shared_ptr<const FockPlan> get(const BasisSet& basis, ThreadPool& pool);
+
+  [[nodiscard]] std::size_t size() const;
+  /// Number of plan constructions performed by this cache.
+  [[nodiscard]] std::int64_t builds() const;
+  /// Number of lookups served without plan-construction work.
+  [[nodiscard]] std::int64_t hits() const;
+
+ private:
+  struct Key {
+    const void* shells = nullptr;  ///< basis.shells().data()
+    std::size_t ns = 0;
+    std::size_t nbf = 0;
+    std::uint64_t fingerprint = 0;
+
+    [[nodiscard]] bool operator<(const Key& o) const {
+      if (shells != o.shells) return shells < o.shells;
+      if (ns != o.ns) return ns < o.ns;
+      if (nbf != o.nbf) return nbf < o.nbf;
+      return fingerprint < o.fingerprint;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::shared_ptr<const FockPlan>> plans_;
+  std::int64_t builds_ = 0;
+  std::int64_t hits_ = 0;
+};
+
+}  // namespace mako

@@ -200,6 +200,7 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
       t.quartets_pruned = fs.quartets_pruned;
       t.eri_seconds = fs.eri_seconds;
       t.digest_seconds = fs.digest_seconds;
+      t.route_seconds = fs.route_seconds;
       t.ladder_rung = ladder.rung;
       t.retries = record.retries;
       t.domain_faults = record.domain_faults;
