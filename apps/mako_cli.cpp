@@ -24,11 +24,28 @@
 //   --trace-all           include the per-GEMM/per-quantize firehose spans
 //   --metrics-json <path> write the global metrics registry as JSON
 //   --telemetry           print the per-SCF-iteration telemetry table
+//   --checkpoint <path>   write crash-consistent SCF checkpoints here
+//   --checkpoint-interval <n>  iterations between checkpoint writes   [1]
+//   --restore <path>      resume bit-identically from a checkpoint
+//   --max-seconds <s>     wall-clock budget; graceful stop + checkpoint
+//   --watchdog-seconds <s> liveness watchdog stall window (0 = off)
 //   --verbose             debug logging
 //   --help                this text
 //
 // Output mirrors the artifact: total wall-clock time, average SCF iteration
 // time excluding the first, and the energy decomposition.
+//
+// Exit codes (scriptable; a scheduler must distinguish "resume me" from
+// "give up" without parsing logs):
+//   0  converged, no recovery needed (or fixed-iteration benchmark complete)
+//   1  unexpected exception (bad input file, unknown basis, ...)
+//   2  usage error
+//   3  converged, but the resilience ladder had to intervene
+//   4  iteration cap reached without convergence
+//   5  stopped on an unrecoverable numerical fault
+//   6  wall-clock budget (--max-seconds) expired; checkpoint resumable
+//   7  cancelled by SIGINT/SIGTERM; checkpoint resumable
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +56,8 @@
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "robust/cancel.hpp"
+#include "robust/status.hpp"
 #include "util/log.hpp"
 
 namespace {
@@ -51,7 +70,19 @@ void print_usage() {
       "            [--iterations N] [--max-iterations N] [--convergence EPS]\n"
       "            [--grid coarse|standard|fine] [--charge Q] [--verbose]\n"
       "            [--trace-out PATH] [--trace-all] [--metrics-json PATH]\n"
-      "            [--telemetry]\n");
+      "            [--telemetry]\n"
+      "            [--checkpoint PATH] [--checkpoint-interval N]\n"
+      "            [--restore PATH] [--max-seconds S] [--watchdog-seconds S]\n"
+      "exit codes: 0 ok, 1 error, 2 usage, 3 recovered, 4 not converged,\n"
+      "            5 fault, 6 deadline exceeded, 7 cancelled (signal)\n");
+}
+
+// SIGINT/SIGTERM request a cooperative stop on the process-wide token: the
+// SCF finishes or abandons the current iteration, writes a final checkpoint,
+// and returns best-so-far results with exit code 7.  Only lock-free atomic
+// stores happen here — async-signal-safe.
+extern "C" void handle_stop_signal(int) {
+  mako::CancelToken::process().request(mako::CancelReason::kSignal);
 }
 
 }  // namespace
@@ -124,6 +155,18 @@ int main(int argc, char** argv) {
       metrics_path = next("--metrics-json");
     } else if (arg == "--telemetry") {
       print_telemetry = true;
+    } else if (arg == "--checkpoint") {
+      options.durability.checkpoint_path = next("--checkpoint");
+    } else if (arg == "--checkpoint-interval") {
+      options.durability.checkpoint_interval =
+          std::atoi(next("--checkpoint-interval").c_str());
+    } else if (arg == "--restore") {
+      options.durability.restore_path = next("--restore");
+    } else if (arg == "--max-seconds") {
+      options.durability.max_seconds = std::atof(next("--max-seconds").c_str());
+    } else if (arg == "--watchdog-seconds") {
+      options.watchdog_seconds =
+          std::atof(next("--watchdog-seconds").c_str());
     } else if (arg == "--verbose") {
       mako::set_log_level(mako::LogLevel::kDebug);
     } else if (arg == "--help" || arg == "-h") {
@@ -167,6 +210,11 @@ int main(int argc, char** argv) {
                                               : mako::obs::Tracer::kDefaultMask);
     }
 
+    // Graceful-stop signals (installed after parsing so a bad command line
+    // still dies immediately on ^C).
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+
     mako::MakoEngine engine(options);
     const mako::MakoReport report = engine.compute_energy(mol);
     std::cout << report.summary();
@@ -198,7 +246,11 @@ int main(int argc, char** argv) {
       std::printf("\nper-iteration telemetry:\n%s",
                   mako::obs::telemetry_table(report.scf.telemetry).c_str());
     }
-    return report.scf.converged || options.fixed_iterations > 0 ? 0 : 1;
+    if (!report.scf.status.is_ok()) {
+      std::fprintf(stderr, "mako: %s\n", report.scf.status.message().c_str());
+    }
+    // Health -> exit code contract (see header comment and robust/status.hpp).
+    return mako::exit_code_for(report.scf.health);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mako: error: %s\n", e.what());
     return 1;

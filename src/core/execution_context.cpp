@@ -12,6 +12,8 @@ ExecutionContext::ExecutionContext(ExecutionContextOptions options)
       pool_(options.pool != nullptr ? options.pool : &ThreadPool::global()),
       plans_(options.plans != nullptr ? options.plans
                                       : &EriPlanCache::process()),
+      cancel_(options.cancel != nullptr ? options.cancel
+                                        : &CancelToken::process()),
       faults_(&FaultInjector::instance()),
       metrics_(&obs::MetricsRegistry::global()),
       tracer_(&obs::Tracer::instance()) {

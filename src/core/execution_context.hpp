@@ -45,6 +45,7 @@
 #include "parallel/simcomm.hpp"
 #include "parallel/thread_pool.hpp"
 #include "quantmako/scheduler.hpp"
+#include "robust/cancel.hpp"
 #include "robust/fault_injector.hpp"
 
 namespace mako {
@@ -65,6 +66,11 @@ struct ExecutionContextOptions {
   ThreadPool* pool = nullptr;
   /// ERI plan cache; nullptr borrows the process-wide EriPlanCache.
   EriPlanCache* plans = nullptr;
+  /// Cooperative-cancellation token polled at shard granularity throughout
+  /// the compute path; nullptr borrows CancelToken::process() (which the CLI
+  /// signal handlers trip).  Tests pass their own token to cancel one run
+  /// without touching the process-wide one.
+  CancelToken* cancel = nullptr;
   /// Publish this context's backend as the process-wide active backend so
   /// ambient matmul()/gemm() wrappers (eigen, DIIS extrapolation) route
   /// through it too.  Tests that juggle several contexts can opt out.
@@ -146,6 +152,12 @@ class ExecutionContext {
   }
   [[nodiscard]] obs::Tracer& tracer() const noexcept { return *tracer_; }
 
+  /// Cooperative-cancellation token of this run.  Compute loops poll
+  /// `cancel().cancelled()` at shard/chunk granularity and bail early;
+  /// the SCF driver turns the trip into a graceful stop (final checkpoint,
+  /// best-so-far result, Health::kDeadlineExceeded / kCancelled).
+  [[nodiscard]] CancelToken& cancel() const noexcept { return *cancel_; }
+
   /// Per-context anchor for higher-layer caches (FockPlanCache et al.);
   /// see ComponentCache.  The context stays logically immutable — components
   /// are lazily built services, not configuration.
@@ -166,6 +178,7 @@ class ExecutionContext {
   bool enable_quantization_;
   ThreadPool* pool_;      ///< borrowed, never null
   EriPlanCache* plans_;   ///< borrowed, never null
+  CancelToken* cancel_;   ///< borrowed, never null
   FaultInjector* faults_;
   obs::MetricsRegistry* metrics_;
   obs::Tracer* tracer_;

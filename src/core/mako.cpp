@@ -21,7 +21,12 @@ std::string MakoReport::summary() const {
     out << "GEMM backend:           " << backend << "\n";
   }
   out << "SCF iterations:         " << scf.iterations
-      << (scf.converged ? " (converged)" : " (NOT converged)") << "\n";
+      << (scf.converged ? " (converged)" : " (NOT converged)");
+  if (scf.resumed_from > 0) {
+    out << " [resumed from iteration " << scf.resumed_from << "]";
+  }
+  out << "\n";
+  out << "health:                 " << to_string(scf.health) << "\n";
   out << "Total Energy:           " << scf.energy << " Eh\n";
   out << "  nuclear repulsion:    " << scf.e_nuclear << "\n";
   out << "  one-electron:         " << scf.e_one_electron << "\n";
@@ -56,6 +61,8 @@ ScfOptions MakoEngine::make_scf_options() const {
   scf.fixed_iterations = options_.fixed_iterations;
   scf.energy_convergence = options_.convergence;
   scf.enable_quantization = options_.quantization;
+  scf.durability = options_.durability;
+  scf.robust.watchdog_seconds = options_.watchdog_seconds;
   return scf;
 }
 

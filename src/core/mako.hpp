@@ -39,6 +39,12 @@ struct MakoOptions {
   DeviceSpec device = DeviceSpec::a100();
   TunerOptions tuner{};
   std::size_t batch_size = 32;
+  /// Checkpoint/restart + wall-clock budget (see DurabilityOptions): write
+  /// crash-consistent checkpoints, resume bit-identically, stop gracefully
+  /// when the budget expires.
+  DurabilityOptions durability{};
+  /// >0: liveness watchdog stall window (seconds); see ResilienceOptions.
+  double watchdog_seconds = 0.0;
 };
 
 /// Result bundle.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "robust/watchdog.hpp"
 
 namespace mako {
 
@@ -58,6 +59,9 @@ void ThreadPool::run_chunks(Context& ctx) {
     if (c >= ctx.nchunks) return;
     const std::size_t lo = c * ctx.count / ctx.nchunks;
     const std::size_t hi = (c + 1) * ctx.count / ctx.nchunks;
+    // One relaxed heartbeat store per chunk; the liveness watchdog reads
+    // these to tell a wedged run from a slow one.
+    Watchdog::instance().beat();
     for (std::size_t i = lo; i < hi; ++i) (*ctx.fn)(i);
     // Completion is counted per chunk, after fn ran: when the caller sees
     // chunks_done == nchunks every fn invocation has finished, so the
@@ -87,6 +91,9 @@ void ThreadPool::parallel_for(std::size_t count,
     return;
   }
   MAKO_METRIC_COUNT("pool.parallel_for", 1);
+  // Mark the parallel region for the liveness watchdog: stalls only count
+  // while at least one region is active (an idle pool is not a wedge).
+  WatchdogRegion watchdog_region;
 
   auto ctx = std::make_shared<Context>();
   ctx->count = count;

@@ -1,0 +1,124 @@
+#include "robust/cancel.hpp"
+
+#include <limits>
+
+namespace mako {
+
+namespace {
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(CancelReason reason) noexcept {
+  switch (reason) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kDeadline:
+      return "deadline";
+    case CancelReason::kSignal:
+      return "signal";
+    case CancelReason::kUser:
+      return "user";
+  }
+  return "?";
+}
+
+Deadline Deadline::after(double seconds) {
+  Deadline d;
+  if (seconds > 0.0) {
+    d.when_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds));
+    d.armed_ = true;
+  }
+  return d;
+}
+
+bool Deadline::expired() const noexcept {
+  return armed_ && std::chrono::steady_clock::now() >= when_;
+}
+
+double Deadline::remaining_seconds() const noexcept {
+  if (!armed_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(when_ -
+                                       std::chrono::steady_clock::now())
+      .count();
+}
+
+void CancelToken::request(CancelReason reason) noexcept {
+  if (reason == CancelReason::kNone) return;
+  std::uint8_t expected = 0;
+  reason_.compare_exchange_strong(expected,
+                                  static_cast<std::uint8_t>(reason),
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_acquire);
+}
+
+void CancelToken::set_deadline(double seconds) noexcept {
+  if (seconds <= 0.0) {
+    clear_deadline();
+    return;
+  }
+  const auto ns = static_cast<std::int64_t>(seconds * 1e9);
+  deadline_ns_.store(now_ns() + ns, std::memory_order_release);
+  has_deadline_.store(true, std::memory_order_release);
+}
+
+void CancelToken::clear_deadline() noexcept {
+  has_deadline_.store(false, std::memory_order_release);
+}
+
+void CancelToken::clear() noexcept {
+  reason_.store(0, std::memory_order_release);
+  clear_deadline();
+}
+
+bool CancelToken::cancelled() const noexcept {
+  if (reason_.load(std::memory_order_relaxed) != 0) return true;
+  if (!has_deadline_.load(std::memory_order_relaxed)) return false;
+  if (now_ns() < deadline_ns_.load(std::memory_order_relaxed)) return false;
+  // Latch the expiry as a cancellation so every subsequent poll is a single
+  // relaxed load and the reason survives a later clear_deadline().
+  std::uint8_t expected = 0;
+  reason_.compare_exchange_strong(
+      expected, static_cast<std::uint8_t>(CancelReason::kDeadline),
+      std::memory_order_acq_rel, std::memory_order_acquire);
+  return true;
+}
+
+double CancelToken::remaining_seconds() const noexcept {
+  if (!has_deadline_.load(std::memory_order_acquire)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(deadline_ns_.load(std::memory_order_acquire) -
+                             now_ns()) *
+         1e-9;
+}
+
+CancelToken& CancelToken::process() noexcept {
+  static CancelToken token;
+  return token;
+}
+
+ScopedDeadline::ScopedDeadline(CancelToken& token, double seconds) noexcept
+    : token_(token) {
+  if (seconds > 0.0) {
+    token_.set_deadline(seconds);
+    armed_ = true;
+  }
+}
+
+ScopedDeadline::~ScopedDeadline() {
+  if (!armed_) return;
+  token_.clear_deadline();
+  // A deadline is per-run state: if it was what cancelled the token, rearm
+  // the token for the next run.  Signal/user cancellations stay latched.
+  if (token_.reason() == CancelReason::kDeadline) token_.clear();
+}
+
+}  // namespace mako

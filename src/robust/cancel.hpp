@@ -1,0 +1,114 @@
+// Cooperative cancellation and wall-clock budgets.
+//
+// A production SCF run must be stoppable without losing its work: a
+// per-request deadline (`--max-seconds`), a SIGTERM from a preempting
+// scheduler, or an operator's Ctrl-C all funnel into one CancelToken that the
+// compute loops poll at shard granularity (Fock routing/digestion shards, XC
+// grid chunks, SCF iteration boundaries).  Polling is cooperative: a poll
+// site that observes cancellation simply stops producing work; the SCF driver
+// then abandons the partially-built iteration, writes a final checkpoint
+// (src/robust/checkpoint.hpp) and returns the best-so-far result with
+// Health::kDeadlineExceeded / Health::kCancelled instead of dying mid-write.
+//
+// Cost model: `cancelled()` is a single relaxed atomic load when no deadline
+// is armed, plus one steady_clock read per poll when one is.  Both are cheap
+// at shard granularity (hundreds of polls per second, not millions).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace mako {
+
+/// Why a run was asked to stop.  Ordering matters only for display.
+enum class CancelReason : std::uint8_t {
+  kNone = 0,
+  kDeadline,  ///< the armed wall-clock budget expired
+  kSignal,    ///< SIGINT/SIGTERM handler requested a graceful stop
+  kUser,      ///< programmatic request (driver, test, embedding application)
+};
+
+[[nodiscard]] const char* to_string(CancelReason reason) noexcept;
+
+/// Wall-clock budget: a fixed point on the steady clock.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// Deadline `seconds` from now; non-positive seconds mean "no deadline".
+  [[nodiscard]] static Deadline after(double seconds);
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+  [[nodiscard]] bool expired() const noexcept;
+  /// Seconds until expiry (negative once past); +inf when unarmed.
+  [[nodiscard]] double remaining_seconds() const noexcept;
+
+ private:
+  std::chrono::steady_clock::time_point when_{};
+  bool armed_ = false;
+};
+
+/// Shared stop-flag polled by the compute loops.  Thread-safe: any thread may
+/// request cancellation; every worker may poll concurrently.  The first
+/// request wins (the recorded reason never changes until clear()).
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Request a graceful stop.  Idempotent; async-signal-safe (atomic stores
+  /// only), so SIGINT/SIGTERM handlers may call it directly.
+  void request(CancelReason reason) noexcept;
+
+  /// Arm (or replace) the wall-clock budget.  Non-positive seconds disarm.
+  void set_deadline(double seconds) noexcept;
+  void clear_deadline() noexcept;
+
+  /// Fully rearm the token: clears the cancel state and the deadline.
+  void clear() noexcept;
+
+  /// The poll: true once a stop was requested or the armed deadline passed.
+  /// The deadline check latches — once observed expired the token stays
+  /// cancelled even if the deadline is later replaced.
+  [[nodiscard]] bool cancelled() const noexcept;
+
+  [[nodiscard]] CancelReason reason() const noexcept {
+    return static_cast<CancelReason>(
+        reason_.load(std::memory_order_acquire));
+  }
+
+  /// Seconds left on the armed deadline (+inf without one).
+  [[nodiscard]] double remaining_seconds() const noexcept;
+
+  /// Process-wide token: the one the CLI's SIGINT/SIGTERM handlers flip and
+  /// the one every ExecutionContext borrows unless given its own.
+  static CancelToken& process() noexcept;
+
+ private:
+  // kNone until the first request; written with compare-exchange so the
+  // first reason sticks.
+  mutable std::atomic<std::uint8_t> reason_{0};
+  std::atomic<bool> has_deadline_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  ///< steady_clock epoch ns
+};
+
+/// RAII per-run deadline on a (possibly shared) token.  Arms the budget on
+/// construction; on destruction disarms it and — if the run was cancelled by
+/// *this* deadline — clears the cancel state so the token is reusable by the
+/// next run.  Signal/user cancellations are sticky and survive the scope.
+class ScopedDeadline {
+ public:
+  ScopedDeadline(CancelToken& token, double seconds) noexcept;
+  ~ScopedDeadline();
+
+  ScopedDeadline(const ScopedDeadline&) = delete;
+  ScopedDeadline& operator=(const ScopedDeadline&) = delete;
+
+ private:
+  CancelToken& token_;
+  bool armed_ = false;
+};
+
+}  // namespace mako

@@ -1,0 +1,463 @@
+#include "robust/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <utility>
+
+namespace mako {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'A', 'K', 'O', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+/// Section tags (fourcc, host-endian u32).
+constexpr std::uint32_t fourcc(const char (&s)[5]) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(s[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[3])) << 24;
+}
+constexpr std::uint32_t kTagMeta = fourcc("META");
+constexpr std::uint32_t kTagDensity = fourcc("DENS");
+constexpr std::uint32_t kTagFock = fourcc("FOCK");
+constexpr std::uint32_t kTagCoef = fourcc("COEF");
+constexpr std::uint32_t kTagYOcc = fourcc("YOCC");
+constexpr std::uint32_t kTagDPrev = fourcc("DPRV");
+constexpr std::uint32_t kTagJPrev = fourcc("JPRV");
+constexpr std::uint32_t kTagKPrev = fourcc("KPRV");
+constexpr std::uint32_t kTagEvals = fourcc("EVAL");
+constexpr std::uint32_t kTagErrHist = fourcc("EHST");
+constexpr std::uint32_t kTagDiis = fourcc("DIIS");
+constexpr std::uint32_t kTagRecoveryLog = fourcc("RLOG");
+constexpr std::uint32_t kTagRng = fourcc("RNGS");
+
+/// Growable byte sink with primitive appenders.  Doubles are written as
+/// their exact 8-byte representation, so a round-trip is bitwise.
+struct ByteSink {
+  std::vector<unsigned char> bytes;
+
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    bytes.insert(bytes.end(), b, b + n);
+  }
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void i32(std::int32_t v) { raw(&v, sizeof v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void matrix(const MatrixD& m) {
+    u64(m.rows());
+    u64(m.cols());
+    raw(m.data(), m.size() * sizeof(double));
+  }
+  void vec(const VectorD& v) {
+    u64(v.size());
+    raw(v.data(), v.size() * sizeof(double));
+  }
+};
+
+/// Bounds-checked cursor over a section payload.  Throws the corrupt-
+/// checkpoint InputError on any overrun — truncated sections are corruption,
+/// not defaults.
+struct ByteSource {
+  const unsigned char* p = nullptr;
+  std::size_t n = 0;
+  std::size_t off = 0;
+
+  void need(std::size_t k) const {
+    if (off + k > n) {
+      throw InputError(FaultKind::kCheckpointCorrupt,
+                       "checkpoint: section payload truncated");
+    }
+  }
+  void raw(void* out, std::size_t k) {
+    need(k);
+    std::memcpy(out, p + off, k);
+    off += k;
+  }
+  std::uint8_t u8() {
+    std::uint8_t v;
+    raw(&v, 1);
+    return v;
+  }
+  std::int32_t i32() {
+    std::int32_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  double f64() {
+    double v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  MatrixD matrix() {
+    const std::uint64_t r = u64();
+    const std::uint64_t c = u64();
+    if (r > (1u << 20) || c > (1u << 20)) {
+      throw InputError(FaultKind::kCheckpointCorrupt,
+                       "checkpoint: implausible matrix dimensions "
+                       "(corrupt size field)");
+    }
+    MatrixD m(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+    raw(m.data(), m.size() * sizeof(double));
+    return m;
+  }
+  VectorD vec() {
+    const std::uint64_t k = u64();
+    if (k > (1u << 28)) {
+      throw InputError(FaultKind::kCheckpointCorrupt,
+                       "checkpoint: implausible vector length "
+                       "(corrupt size field)");
+    }
+    VectorD v(static_cast<std::size_t>(k));
+    raw(v.data(), v.size() * sizeof(double));
+    return v;
+  }
+};
+
+void append_section(ByteSink& file, std::uint32_t tag,
+                    const std::vector<unsigned char>& payload) {
+  file.u32(tag);
+  file.u64(payload.size());
+  file.u32(crc32(payload.data(), payload.size()));
+  file.raw(payload.data(), payload.size());
+}
+
+std::uint32_t crc_table_entry(std::uint32_t i) noexcept {
+  std::uint32_t c = i;
+  for (int k = 0; k < 8; ++k) {
+    c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+  }
+  return c;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n,
+                    std::uint32_t seed) noexcept {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) t[i] = crc_table_entry(i);
+    return t;
+  }();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+Status save_checkpoint(const std::string& path,
+                       const ScfCheckpointState& state) {
+  // --- serialize every section into one buffer ---------------------------
+  ByteSink file;
+  file.raw(kMagic, sizeof kMagic);
+  file.u32(kFormatVersion);
+  file.u64(state.fingerprint);
+
+  std::vector<std::pair<std::uint32_t, std::vector<unsigned char>>> sections;
+  auto add_section = [&sections](std::uint32_t tag, auto&& fill) {
+    ByteSink s;
+    fill(s);
+    sections.emplace_back(tag, std::move(s.bytes));
+  };
+
+  add_section(kTagMeta, [&](ByteSink& s) {
+    s.i32(state.next_iteration);
+    s.u8(state.force_exact);
+    s.u8(state.converged);
+    s.i32(state.ladder_rung);
+    s.u8(state.damping);
+    s.u8(state.fp64_latched);
+    s.u8(state.direct_diag);
+    s.u8(state.full_rebuild);
+    s.i32(state.cooldown_until);
+    s.i32(state.rise_streak);
+    s.f64(state.last_energy);
+    s.f64(state.last_error);
+    s.f64(state.energy);
+    s.f64(state.e_nuclear);
+    s.f64(state.e_one_electron);
+    s.f64(state.e_coulomb);
+    s.f64(state.e_exact_exchange);
+    s.f64(state.e_xc);
+  });
+  const std::pair<std::uint32_t, const MatrixD*> mats[] = {
+      {kTagDensity, &state.density},  {kTagFock, &state.fock},
+      {kTagCoef, &state.coefficients}, {kTagYOcc, &state.prev_y_occ},
+      {kTagDPrev, &state.d_prev},     {kTagJPrev, &state.j_prev},
+      {kTagKPrev, &state.k_prev},
+  };
+  for (const auto& [tag, m] : mats) {
+    add_section(tag, [&](ByteSink& s) { s.matrix(*m); });
+  }
+  add_section(kTagEvals,
+              [&](ByteSink& s) { s.vec(state.orbital_energies); });
+  add_section(kTagErrHist, [&](ByteSink& s) { s.vec(state.err_hist); });
+  add_section(kTagDiis, [&](ByteSink& s) {
+    const std::size_t nv =
+        std::min(state.diis_focks.size(), state.diis_errors.size());
+    s.u64(nv);
+    for (std::size_t i = 0; i < nv; ++i) {
+      s.matrix(state.diis_focks[i]);
+      s.matrix(state.diis_errors[i]);
+    }
+  });
+  add_section(kTagRecoveryLog, [&](ByteSink& s) {
+    s.u64(state.recovery_log.size());
+    for (const RecoveryEvent& e : state.recovery_log) {
+      s.i32(e.iteration);
+      s.u32(static_cast<std::uint32_t>(e.fault));
+      s.u32(static_cast<std::uint32_t>(e.action));
+      s.u64(e.detail.size());
+      s.raw(e.detail.data(), e.detail.size());
+    }
+  });
+  add_section(kTagRng, [&](ByteSink& s) {
+    s.u64(state.rng_state.size());
+    s.raw(state.rng_state.data(), state.rng_state.size());
+  });
+
+  file.u32(static_cast<std::uint32_t>(sections.size()));
+  for (const auto& [tag, payload] : sections) {
+    append_section(file, tag, payload);
+  }
+
+  // --- atomic write: temp + fsync + rename + fsync(dir) ------------------
+  char msg[512];
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    std::snprintf(msg, sizeof msg,
+                  "checkpoint: cannot open '%s' for writing", tmp.c_str());
+    return Status::fault(FaultKind::kCheckpointError, msg);
+  }
+  const bool wrote =
+      std::fwrite(file.bytes.data(), 1, file.bytes.size(), f) ==
+      file.bytes.size();
+  const bool flushed = wrote && std::fflush(f) == 0;
+  const bool synced = flushed && ::fsync(::fileno(f)) == 0;
+  std::fclose(f);
+  if (!synced) {
+    std::remove(tmp.c_str());
+    std::snprintf(msg, sizeof msg,
+                  "checkpoint: short write or fsync failure on '%s'",
+                  tmp.c_str());
+    return Status::fault(FaultKind::kCheckpointError, msg);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    std::snprintf(msg, sizeof msg,
+                  "checkpoint: rename '%s' -> '%s' failed", tmp.c_str(),
+                  path.c_str());
+    return Status::fault(FaultKind::kCheckpointError, msg);
+  }
+  // Durability of the rename itself: fsync the containing directory.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::ok();
+}
+
+ScfCheckpointState load_checkpoint(const std::string& path,
+                                   std::uint64_t expected_fingerprint) {
+  char msg[512];
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::snprintf(msg, sizeof msg,
+                  "checkpoint: cannot open '%s' (does the file exist and is "
+                  "it readable?)",
+                  path.c_str());
+    throw InputError(FaultKind::kCheckpointCorrupt, msg);
+  }
+  std::vector<unsigned char> bytes;
+  std::fseek(f, 0, SEEK_END);
+  const long sz = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (sz > 0) {
+    bytes.resize(static_cast<std::size_t>(sz));
+    if (std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+      bytes.clear();
+    }
+  }
+  std::fclose(f);
+
+  ByteSource src{bytes.data(), bytes.size(), 0};
+  char magic[8];
+  try {
+    src.raw(magic, sizeof magic);
+  } catch (const InputError&) {
+    std::snprintf(msg, sizeof msg,
+                  "checkpoint: '%s' is too short to be a checkpoint file",
+                  path.c_str());
+    throw InputError(FaultKind::kCheckpointCorrupt, msg);
+  }
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    std::snprintf(msg, sizeof msg,
+                  "checkpoint: '%s' has a bad magic header (not a mako "
+                  "checkpoint, or the header bytes were corrupted)",
+                  path.c_str());
+    throw InputError(FaultKind::kCheckpointCorrupt, msg);
+  }
+  const std::uint32_t version = src.u32();
+  if (version != kFormatVersion) {
+    std::snprintf(msg, sizeof msg,
+                  "checkpoint: '%s' has format version %u; this build reads "
+                  "version %u only",
+                  path.c_str(), version, kFormatVersion);
+    throw InputError(FaultKind::kCheckpointCorrupt, msg);
+  }
+  ScfCheckpointState state;
+  state.fingerprint = src.u64();
+  if (expected_fingerprint != 0 &&
+      state.fingerprint != expected_fingerprint) {
+    std::snprintf(
+        msg, sizeof msg,
+        "checkpoint: '%s' was written for a different molecule/basis/"
+        "options (fingerprint %016llx, this run is %016llx); refusing to "
+        "restore — rerun with matching inputs or drop --restore",
+        path.c_str(),
+        static_cast<unsigned long long>(state.fingerprint),
+        static_cast<unsigned long long>(expected_fingerprint));
+    throw InputError(FaultKind::kCheckpointMismatch, msg);
+  }
+
+  const std::uint32_t nsections = src.u32();
+  std::map<std::uint32_t, std::pair<std::size_t, std::size_t>> sections;
+  for (std::uint32_t i = 0; i < nsections; ++i) {
+    const std::uint32_t tag = src.u32();
+    const std::uint64_t len = src.u64();
+    const std::uint32_t crc = src.u32();
+    src.need(static_cast<std::size_t>(len));
+    const std::size_t off = src.off;
+    if (crc32(src.p + off, static_cast<std::size_t>(len)) != crc) {
+      std::snprintf(msg, sizeof msg,
+                    "checkpoint: '%s' section '%c%c%c%c' failed its CRC32 "
+                    "check — the file is corrupt; delete it and restart "
+                    "from scratch",
+                    path.c_str(), static_cast<char>(tag & 0xFF),
+                    static_cast<char>((tag >> 8) & 0xFF),
+                    static_cast<char>((tag >> 16) & 0xFF),
+                    static_cast<char>((tag >> 24) & 0xFF));
+      throw InputError(FaultKind::kCheckpointCorrupt, msg);
+    }
+    sections[tag] = {off, static_cast<std::size_t>(len)};
+    src.off += static_cast<std::size_t>(len);
+  }
+
+  auto open_section = [&](std::uint32_t tag) -> ByteSource {
+    auto it = sections.find(tag);
+    if (it == sections.end()) {
+      std::snprintf(msg, sizeof msg,
+                    "checkpoint: '%s' is missing a required section "
+                    "(truncated or corrupt)",
+                    path.c_str());
+      throw InputError(FaultKind::kCheckpointCorrupt, msg);
+    }
+    return ByteSource{bytes.data() + it->second.first, it->second.second, 0};
+  };
+
+  {
+    ByteSource s = open_section(kTagMeta);
+    state.next_iteration = s.i32();
+    state.force_exact = s.u8();
+    state.converged = s.u8();
+    state.ladder_rung = s.i32();
+    state.damping = s.u8();
+    state.fp64_latched = s.u8();
+    state.direct_diag = s.u8();
+    state.full_rebuild = s.u8();
+    state.cooldown_until = s.i32();
+    state.rise_streak = s.i32();
+    state.last_energy = s.f64();
+    state.last_error = s.f64();
+    state.energy = s.f64();
+    state.e_nuclear = s.f64();
+    state.e_one_electron = s.f64();
+    state.e_coulomb = s.f64();
+    state.e_exact_exchange = s.f64();
+    state.e_xc = s.f64();
+  }
+  const std::pair<std::uint32_t, MatrixD*> mats[] = {
+      {kTagDensity, &state.density},  {kTagFock, &state.fock},
+      {kTagCoef, &state.coefficients}, {kTagYOcc, &state.prev_y_occ},
+      {kTagDPrev, &state.d_prev},     {kTagJPrev, &state.j_prev},
+      {kTagKPrev, &state.k_prev},
+  };
+  for (const auto& [tag, m] : mats) {
+    ByteSource s = open_section(tag);
+    *m = s.matrix();
+  }
+  {
+    ByteSource s = open_section(kTagEvals);
+    state.orbital_energies = s.vec();
+  }
+  {
+    ByteSource s = open_section(kTagErrHist);
+    state.err_hist = s.vec();
+  }
+  {
+    ByteSource s = open_section(kTagDiis);
+    const std::uint64_t nv = s.u64();
+    if (nv > 1024) {
+      throw InputError(FaultKind::kCheckpointCorrupt,
+                       "checkpoint: implausible DIIS history length");
+    }
+    for (std::uint64_t i = 0; i < nv; ++i) {
+      state.diis_focks.push_back(s.matrix());
+      state.diis_errors.push_back(s.matrix());
+    }
+  }
+  {
+    ByteSource s = open_section(kTagRecoveryLog);
+    const std::uint64_t nev = s.u64();
+    if (nev > (1u << 20)) {
+      throw InputError(FaultKind::kCheckpointCorrupt,
+                       "checkpoint: implausible recovery-log length");
+    }
+    for (std::uint64_t i = 0; i < nev; ++i) {
+      RecoveryEvent e;
+      e.iteration = s.i32();
+      e.fault = static_cast<FaultKind>(s.u32());
+      e.action = static_cast<RecoveryAction>(s.u32());
+      const std::uint64_t len = s.u64();
+      s.need(static_cast<std::size_t>(len));
+      e.detail.assign(reinterpret_cast<const char*>(s.p + s.off),
+                      static_cast<std::size_t>(len));
+      s.off += static_cast<std::size_t>(len);
+      state.recovery_log.push_back(std::move(e));
+    }
+  }
+  {
+    ByteSource s = open_section(kTagRng);
+    const std::uint64_t len = s.u64();
+    s.need(static_cast<std::size_t>(len));
+    state.rng_state.assign(reinterpret_cast<const char*>(s.p + s.off),
+                           static_cast<std::size_t>(len));
+  }
+  return state;
+}
+
+}  // namespace mako

@@ -30,6 +30,36 @@ const char* to_string(FaultKind kind) noexcept {
       return "incremental-drift";
     case FaultKind::kInvalidInput:
       return "invalid-input";
+    case FaultKind::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case FaultKind::kCancelled:
+      return "cancelled";
+    case FaultKind::kWedged:
+      return "wedged";
+    case FaultKind::kCheckpointCorrupt:
+      return "checkpoint-corrupt";
+    case FaultKind::kCheckpointMismatch:
+      return "checkpoint-mismatch";
+    case FaultKind::kCheckpointError:
+      return "checkpoint-error";
+  }
+  return "?";
+}
+
+const char* to_string(Health health) noexcept {
+  switch (health) {
+    case Health::kOk:
+      return "ok";
+    case Health::kRecovered:
+      return "recovered";
+    case Health::kNotConverged:
+      return "not-converged";
+    case Health::kFault:
+      return "fault";
+    case Health::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case Health::kCancelled:
+      return "cancelled";
   }
   return "?";
 }

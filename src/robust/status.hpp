@@ -31,6 +31,12 @@ enum class FaultKind : std::uint32_t {
   kCommCorruption,       ///< collective payload failed checksum verification
   kIncrementalDrift,     ///< delta-density Fock accumulation drifted
   kInvalidInput,         ///< caller-supplied molecule/basis/options rejected
+  kDeadlineExceeded,     ///< wall-clock budget expired before convergence
+  kCancelled,            ///< cooperative cancellation (signal or API request)
+  kWedged,               ///< watchdog saw no worker heartbeat for the window
+  kCheckpointCorrupt,    ///< checkpoint magic/CRC/structure failed validation
+  kCheckpointMismatch,   ///< checkpoint fingerprint is for a different problem
+  kCheckpointError,      ///< checkpoint I/O failed (write, fsync, rename)
 };
 
 /// Bit for `kind` in a per-iteration fault mask.
@@ -91,6 +97,42 @@ class Status {
   FaultKind kind_ = FaultKind::kNone;
   std::string message_;
 };
+
+/// Terminal health of a run, in increasing order of severity.  This is the
+/// contract between the SCF driver and the process exit code: a scheduler
+/// script must be able to tell "converged" from "hit the wall-clock budget,
+/// resume me from the checkpoint" without parsing logs.
+enum class Health : std::uint32_t {
+  kOk = 0,            ///< converged, no recovery needed
+  kRecovered,         ///< converged after recovery-ladder intervention
+  kNotConverged,      ///< ran to the iteration cap without converging
+  kFault,             ///< stopped on an unrecoverable numerical fault
+  kDeadlineExceeded,  ///< stopped early: --max-seconds budget expired
+  kCancelled,         ///< stopped early: SIGINT/SIGTERM or API cancellation
+};
+
+[[nodiscard]] const char* to_string(Health health) noexcept;
+
+/// Process exit code for a run with the given terminal health.  0 stays
+/// "fully healthy"; 1 and 2 are reserved for the CLI's generic-exception and
+/// usage-error paths, so health codes start at 3.
+[[nodiscard]] constexpr int exit_code_for(Health health) noexcept {
+  switch (health) {
+    case Health::kOk:
+      return 0;
+    case Health::kRecovered:
+      return 3;
+    case Health::kNotConverged:
+      return 4;
+    case Health::kFault:
+      return 5;
+    case Health::kDeadlineExceeded:
+      return 6;
+    case Health::kCancelled:
+      return 7;
+  }
+  return 5;
+}
 
 /// One recovery-ladder activation, surfaced through ScfResult::recovery_log.
 struct RecoveryEvent {

@@ -1,0 +1,155 @@
+#include "robust/watchdog.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace mako {
+
+namespace {
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Heartbeat slot of the calling thread; assigned on first beat.
+thread_local std::size_t tl_slot = static_cast<std::size_t>(-1);
+
+// The monitor sleeps on this so stop() can interrupt a long wait promptly.
+std::mutex g_wake_mutex;
+std::condition_variable g_wake_cv;
+
+}  // namespace
+
+Watchdog& Watchdog::instance() {
+  static Watchdog dog;
+  return dog;
+}
+
+void Watchdog::enter_region() noexcept {
+  last_activity_ns_.store(now_ns(), std::memory_order_relaxed);
+  active_regions_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Watchdog::leave_region() noexcept {
+  last_activity_ns_.store(now_ns(), std::memory_order_relaxed);
+  active_regions_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Watchdog::beat() noexcept {
+  if (tl_slot == static_cast<std::size_t>(-1)) {
+    const std::size_t s = nslots_.fetch_add(1, std::memory_order_relaxed);
+    tl_slot = std::min(s, kMaxSlots - 1);
+  }
+  const std::int64_t t = now_ns();
+  slots_[tl_slot].store(t, std::memory_order_relaxed);
+  last_activity_ns_.store(t, std::memory_order_relaxed);
+  beat_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Watchdog::start(double stall_seconds) {
+  stall_seconds_.store(std::max(stall_seconds, 1e-3),
+                       std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_.load(std::memory_order_acquire)) return;
+  running_.store(true, std::memory_order_release);
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+void Watchdog::stop() {
+  // Join outside the lock: the monitor takes mutex_ to record events, so
+  // holding it across the join would deadlock against an in-flight event.
+  std::thread t;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_.load(std::memory_order_acquire)) return;
+    running_.store(false, std::memory_order_release);
+    t = std::move(monitor_);
+  }
+  g_wake_cv.notify_all();
+  if (t.joinable()) t.join();
+}
+
+std::vector<WatchdogEvent> Watchdog::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+Status Watchdog::last_status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_status_;
+}
+
+void Watchdog::reset_events() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  last_status_ = Status::ok();
+  stalls_.store(0, std::memory_order_relaxed);
+}
+
+void Watchdog::monitor_loop() {
+  // After a detection, progress (a fresh beat) or a full further stall
+  // window must elapse before the next event fires — a single wedge is one
+  // stream of periodic events, not one event per poll tick.
+  std::int64_t rearm_at_ns = 0;
+  while (running_.load(std::memory_order_acquire)) {
+    const double window = stall_seconds_.load(std::memory_order_acquire);
+    {
+      std::unique_lock<std::mutex> lock(g_wake_mutex);
+      g_wake_cv.wait_for(
+          lock, std::chrono::duration<double>(std::max(window / 4.0, 0.005)),
+          [this] { return !running_.load(std::memory_order_acquire); });
+    }
+    if (!running_.load(std::memory_order_acquire)) break;
+    if (active_regions_.load(std::memory_order_acquire) <= 0) continue;
+    const std::int64_t now = now_ns();
+    const std::int64_t last =
+        last_activity_ns_.load(std::memory_order_relaxed);
+    const double stalled = static_cast<double>(now - last) * 1e-9;
+    if (stalled < window || now < rearm_at_ns) continue;
+
+    WatchdogEvent ev;
+    ev.stalled_seconds = stalled;
+    ev.workers_registered = static_cast<int>(std::min(
+        nslots_.load(std::memory_order_relaxed), kMaxSlots));
+    ev.at_ns = now;
+    char msg[192];
+    std::snprintf(msg, sizeof msg,
+                  "watchdog: no worker heartbeat for %.2fs (window %.2fs, "
+                  "%d workers registered, parallel region active) — the run "
+                  "appears wedged",
+                  stalled, window, ev.workers_registered);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      events_.push_back(ev);
+      last_status_ = Status::fault(FaultKind::kWedged, msg);
+    }
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    MAKO_METRIC_COUNT("robust.watchdog_stalls", 1);
+    MAKO_METRIC_OBSERVE("robust.watchdog_stalled_s", stalled);
+    log_warn("%s", msg);
+    rearm_at_ns =
+        now + static_cast<std::int64_t>(window * 1e9);
+  }
+}
+
+ScopedWatchdog::ScopedWatchdog(double stall_seconds) {
+  if (stall_seconds <= 0.0) return;
+  Watchdog& dog = Watchdog::instance();
+  if (!dog.running()) {
+    dog.start(stall_seconds);
+    owns_ = true;
+  }
+}
+
+ScopedWatchdog::~ScopedWatchdog() {
+  if (owns_) Watchdog::instance().stop();
+}
+
+}  // namespace mako

@@ -75,4 +75,22 @@ void Diis::reset() {
   last_error_ = 1.0;
 }
 
+void Diis::export_state(std::vector<MatrixD>& focks,
+                        std::vector<MatrixD>& errors,
+                        double& last_error) const {
+  focks.assign(focks_.begin(), focks_.end());
+  errors.assign(errors_.begin(), errors_.end());
+  last_error = last_error_;
+}
+
+void Diis::import_state(const std::vector<MatrixD>& focks,
+                        const std::vector<MatrixD>& errors,
+                        double last_error) {
+  focks_.assign(focks.begin(), focks.end());
+  errors_.assign(errors.begin(), errors.end());
+  while (focks_.size() > max_vectors_) focks_.pop_front();
+  while (errors_.size() > max_vectors_) errors_.pop_front();
+  last_error_ = last_error;
+}
+
 }  // namespace mako

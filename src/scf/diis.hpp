@@ -2,6 +2,7 @@
 #pragma once
 
 #include <deque>
+#include <vector>
 
 #include "linalg/matrix.hpp"
 
@@ -23,6 +24,15 @@ class Diis {
   [[nodiscard]] double last_error() const noexcept { return last_error_; }
 
   void reset();
+
+  /// Checkpoint support: copy out / restore the full extrapolation state
+  /// (history oldest-first + last error).  import_state truncates to
+  /// max_vectors_ keeping the newest entries, so a resumed run extrapolates
+  /// from exactly the subspace the interrupted run held.
+  void export_state(std::vector<MatrixD>& focks, std::vector<MatrixD>& errors,
+                    double& last_error) const;
+  void import_state(const std::vector<MatrixD>& focks,
+                    const std::vector<MatrixD>& errors, double last_error);
 
  private:
   std::size_t max_vectors_;

@@ -178,6 +178,10 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
   k.resize(nbf, nbf, 0.0);
 
   ThreadPool& pool = ctx_->pool();
+  // Cooperative cancellation: shards poll the run's token at row/task
+  // granularity and bail, leaving J/K partial; the driver reads
+  // stats.cancelled and discards the build before any audit sees it.
+  const CancelToken& cancel = ctx_->cancel();
   // The reference engine stays deliberately serial: it models the
   // irregular per-quartet baseline, and its eval/digest runs inline in the
   // routing loop.
@@ -217,6 +221,17 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
   double dmax_global = 0.0;
   for (std::size_t s = 0; s < ndm; ++s) {
     dmax_global = std::max(dmax_global, scratch.dmax_shard_max[s]);
+  }
+  // Injection site: corrupt the density-maxima table between the screening
+  // passes.  A poisoned dmax mis-routes quartets (wrongly pruned or wrongly
+  // quantized) for THIS build only — the recovery ladder's full-rebuild rung
+  // must produce a clean build because the table is recomputed per call.
+  if (MAKO_FAULT_POINT("fock.route")) {
+    ctx_->faults().corrupt("fock.route", scratch.dmax.data(),
+                           scratch.dmax.size());
+    for (std::size_t s = 0; s < ns * ns; ++s) {
+      dmax_global = std::max(dmax_global, scratch.dmax.data()[s]);
+    }
   }
   const MatrixD& dmax = scratch.dmax;
 
@@ -258,6 +273,7 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
     const std::size_t lo = scratch.route_rows[s];
     const std::size_t hi = scratch.route_rows[s + 1];
     for (std::size_t bi = lo; bi < hi; ++bi) {
+      if (cancel.cancelled()) return;  // shard bails; buckets stay partial
       const FockShellPair& pb = pairs[bi];
       // Row-level exit: every quartet with both pair indices >= bi is
       // bounded by q_bi^2 * dcap; below the keep threshold the rest of this
@@ -423,6 +439,7 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
       shard.k.resize(nbf, nbf, 0.0);
       shard.eri_seconds = shard.digest_seconds = shard.gemm_flops = 0.0;
       for (std::size_t t = s; t < scratch.tasks.size(); t += ndig) {
+        if (cancel.cancelled()) return;  // shard bails; J/K stay partial
         const Scratch::BatchTask& task = scratch.tasks[t];
         const std::span<const QuartetRef> batch(
             task.bucket->refs.data() + task.start, task.count);
@@ -480,6 +497,8 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
   if (stats.quartets_quantized > 0 && MAKO_FAULT_POINT("fock.j_poison")) {
     ctx_->faults().corrupt("fock.j_poison", j.data(), j.size());
   }
+
+  stats.cancelled = cancel.cancelled();
 
   MAKO_METRIC_COUNT("fock.quartets_fp64", stats.quartets_fp64);
   MAKO_METRIC_COUNT("fock.quartets_quantized", stats.quartets_quantized);

@@ -71,6 +71,11 @@ struct FockStats {
   double route_seconds = 0.0;   ///< wall clock of dmax + routing pass
   double jk_wall_seconds = 0.0; ///< wall clock of eval+digest+reduce phase
   double gemm_flops = 0.0;
+  /// True when the context's CancelToken tripped mid-build and shards bailed
+  /// early.  J/K are then PARTIAL — the caller must discard them (the SCF
+  /// driver checks this before any audit so a half-built Fock never reads as
+  /// a numerical fault).
+  bool cancelled = false;
 };
 
 /// Builds J and K for a given (symmetric) density matrix.

@@ -4,10 +4,14 @@
 #include <cstdio>
 #include <tuple>
 
+#include <cmath>
+
 #include "integrals/schwarz.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
+#include "robust/fault_injector.hpp"
+#include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace mako {
@@ -28,6 +32,46 @@ FockPlan::FockPlan(const BasisSet& basis, ThreadPool& pool) {
   Timer timer;
 
   schwarz_ = schwarz_bounds(basis, &pool);
+
+  // Injection site: corrupt the Schwarz table at plan-build time.  This is
+  // the nastiest screening fault — the plan is cached for the whole run, so
+  // an unsanitized NaN bound would silently mis-prune EVERY subsequent
+  // iteration, not just one build.  The sanitize pass below is what keeps
+  // that failure mode survivable.
+  if (MAKO_FAULT_POINT("fock.plan_build")) {
+    FaultInjector::instance().corrupt("fock.plan_build", schwarz_.data(),
+                                      schwarz_.size());
+  }
+
+  // Sanitize: a non-finite Schwarz bound (overflowed primitive pair, injected
+  // corruption, bad basis data) must not reach the routing comparisons —
+  // NaN compares false against every threshold, which silently drops the
+  // quartet.  Replace each with the largest finite bound (never prune what
+  // we cannot bound) and make the repair observable.
+  {
+    double qmax = 0.0;
+    std::size_t bad = 0;
+    for (std::size_t i = 0; i < schwarz_.size(); ++i) {
+      const double q = schwarz_.data()[i];
+      if (std::isfinite(q)) qmax = std::max(qmax, q);
+    }
+    if (qmax <= 0.0) qmax = 1.0;
+    for (std::size_t i = 0; i < schwarz_.size(); ++i) {
+      if (!std::isfinite(schwarz_.data()[i])) {
+        schwarz_.data()[i] = qmax;
+        ++bad;
+      }
+    }
+    if (bad > 0) {
+      MAKO_METRIC_COUNT("fock.plan_bounds_sanitized",
+                        static_cast<std::int64_t>(bad));
+      log_warn(
+          "FockPlan: %zu non-finite Schwarz bound(s) replaced with the max "
+          "finite bound %.3e — affected quartets route to FP64 instead of "
+          "being mis-pruned",
+          bad, qmax);
+    }
+  }
 
   const auto& shells = basis.shells();
   const std::size_t ns = shells.size();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
 
@@ -13,7 +14,10 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "robust/audit.hpp"
+#include "robust/cancel.hpp"
+#include "robust/checkpoint.hpp"
 #include "robust/fault_injector.hpp"
+#include "robust/watchdog.hpp"
 #include "scf/diis.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -46,6 +50,58 @@ struct LadderState {
   /// a window to take effect before the next one is considered.
   int cooldown_until = 0;
 };
+
+inline void fnv1a(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+}
+
+/// Content fingerprint of everything that shapes the SCF trajectory: the
+/// basis (via FockPlan::fingerprint), molecule, backend, and every
+/// trajectory-shaping option.  A checkpoint restore validates this — resuming
+/// against a different problem must fail loudly, never compute garbage.
+std::uint64_t scf_fingerprint(const Molecule& mol, const BasisSet& basis,
+                              const ScfOptions& options,
+                              const std::string& backend_name) {
+  std::uint64_t h = FockPlan::fingerprint(basis);
+  const int charge = mol.charge();
+  fnv1a(h, &charge, sizeof charge);
+  for (const Atom& a : mol.atoms()) {
+    fnv1a(h, &a.z, sizeof a.z);
+    fnv1a(h, &a.position, 3 * sizeof(double));
+  }
+  const char* xc_name = options.xc.name();
+  fnv1a(h, xc_name, std::strlen(xc_name));
+  fnv1a(h, backend_name.data(), backend_name.size());
+  const std::int32_t ints[] = {
+      static_cast<std::int32_t>(options.diagonalizer),
+      options.incremental_fock ? 1 : 0,
+      options.incremental_rebuild_period,
+      options.use_diis ? 1 : 0,
+      options.enable_quantization ? 1 : 0,
+      options.fixed_iterations,
+      options.robust.sentinels ? 1 : 0,
+      options.robust.recovery ? 1 : 0,
+      options.robust.divergence_window,
+      options.robust.stagnation_window,
+      options.robust.max_retries_per_iteration,
+      static_cast<std::int32_t>(options.subspace_max_iter),
+  };
+  fnv1a(h, ints, sizeof ints);
+  const double doubles[] = {
+      options.energy_convergence,    options.diis_convergence,
+      options.lindep_threshold,      options.prune_threshold,
+      options.subspace_tol,          options.robust.divergence_tol,
+      options.robust.stagnation_factor, options.robust.damping_factor,
+      options.robust.level_shift,    options.robust.symmetry_tol,
+      options.robust.ortho_tol,
+  };
+  fnv1a(h, doubles, sizeof doubles);
+  return h;
+}
 
 void validate_inputs(const Molecule& mol, const BasisSet& basis,
                      std::size_t* nocc_out) {
@@ -137,18 +193,26 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
              be->name().c_str());
   }
 
-  // Core-Hamiltonian initial guess.
-  {
-    MatrixD f0 = matmul(matmul(x, Trans::kYes, hcore, Trans::kNo, be), x, be);
-    EigenResult es = eigh(f0);
-    result.coefficients = matmul(x, es.eigenvectors, be);
-    result.orbital_energies = es.eigenvalues;
-  }
-  result.density = build_density(result.coefficients, nocc);
-
   const int niter = (options.fixed_iterations > 0) ? options.fixed_iterations
                                                    : options.max_iterations;
   const ResilienceOptions& robust = options.robust;
+  const DurabilityOptions& dur = options.durability;
+
+  // Cooperative cancellation: the run's token (CLI signal handlers or a test
+  // request() trip it) plus an optional wall-clock budget armed as a deadline
+  // on the same token.  ScopedDeadline disarms on exit so a later run in this
+  // process is not cancelled by THIS run's expired budget.
+  CancelToken& cancel = exec.cancel();
+  ScopedDeadline deadline_guard(cancel, dur.max_seconds);
+  // Liveness watchdog: detection only — a wedged parallel region records a
+  // kWedged audit event and metrics; enforcement stays with the deadline.
+  ScopedWatchdog watchdog_guard(robust.watchdog_seconds);
+
+  const bool durable =
+      !dur.checkpoint_path.empty() || !dur.restore_path.empty();
+  const std::uint64_t fingerprint =
+      durable ? scf_fingerprint(mol, basis, options, be->name()) : 0;
+
   double last_energy = 0.0;
   double last_error = 1.0;
   // Once the SCF meets its thresholds under quantized kernels, one final
@@ -165,8 +229,123 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
   // rung-2 level shift to push virtuals away from the occupied block.
   MatrixD prev_y_occ;
   bool aborted = false;
+  bool cancelled_stop = false;
+  int start_iter = 0;
 
-  for (int iter = 0; iter < niter; ++iter) {
+  if (!dur.restore_path.empty()) {
+    // Throws InputError (kCheckpointCorrupt / kCheckpointMismatch) on a bad
+    // or foreign file — a restore never silently restarts from scratch.
+    const ScfCheckpointState ck =
+        load_checkpoint(dur.restore_path, fingerprint);
+    start_iter = ck.next_iteration;
+    result.resumed_from = ck.next_iteration;
+    last_energy = ck.last_energy;
+    last_error = ck.last_error;
+    force_exact = ck.force_exact != 0;
+    result.energy = ck.energy;
+    result.e_one_electron = ck.e_one_electron;
+    result.e_coulomb = ck.e_coulomb;
+    result.e_exact_exchange = ck.e_exact_exchange;
+    result.e_xc = ck.e_xc;
+    result.density = ck.density;
+    result.fock = ck.fock;
+    result.coefficients = ck.coefficients;
+    result.orbital_energies = ck.orbital_energies;
+    ladder.rung = ck.ladder_rung;
+    ladder.damping = ck.damping != 0;
+    ladder.fp64 = ck.fp64_latched != 0;
+    ladder.direct_diag = ck.direct_diag != 0;
+    ladder.full_rebuild = ck.full_rebuild != 0;
+    ladder.cooldown_until = ck.cooldown_until;
+    result.fp64_latched = ladder.fp64;
+    result.diagonalizer_fallback = ladder.direct_diag;
+    result.full_rebuild_latched = ladder.full_rebuild;
+    rise_streak = ck.rise_streak;
+    err_hist.assign(ck.err_hist.begin(), ck.err_hist.end());
+    prev_y_occ = ck.prev_y_occ;
+    d_prev = ck.d_prev;
+    j_prev = ck.j_prev;
+    k_prev = ck.k_prev;
+    diis.import_state(ck.diis_focks, ck.diis_errors, ck.last_error);
+    result.recovery_log = ck.recovery_log;
+    MAKO_METRIC_COUNT("scf.restores", 1);
+    log_info("run_scf: restored checkpoint '%s' at iteration %d (E=%.10f)",
+             dur.restore_path.c_str(), start_iter, last_energy);
+    if (ck.converged != 0) {
+      // The interrupted run had already converged; nothing left to iterate.
+      result.converged = true;
+      result.health = result.recovered() ? Health::kRecovered : Health::kOk;
+      return result;
+    }
+  } else {
+    // Core-Hamiltonian initial guess.
+    MatrixD f0 = matmul(matmul(x, Trans::kYes, hcore, Trans::kNo, be), x, be);
+    EigenResult es = eigh(f0);
+    result.coefficients = matmul(x, es.eigenvectors, be);
+    result.orbital_energies = es.eigenvalues;
+    result.density = build_density(result.coefficients, nocc);
+  }
+
+  // Checkpoint capture: snapshot every loop-carried datum at the end of a
+  // completed iteration.  The latest snapshot is written periodically and —
+  // whatever the exit path — once more at the end, so a kill or budget stop
+  // always leaves a resumable file describing the last completed iteration.
+  ScfCheckpointState last_ckpt;
+  bool have_ckpt = false;
+  int saved_next = -1;
+  auto capture_ckpt = [&](int next_iter, bool conv) {
+    ScfCheckpointState ck;
+    ck.fingerprint = fingerprint;
+    ck.next_iteration = next_iter;
+    ck.last_energy = last_energy;
+    ck.last_error = last_error;
+    ck.force_exact = force_exact ? 1 : 0;
+    ck.converged = conv ? 1 : 0;
+    ck.energy = result.energy;
+    ck.e_nuclear = result.e_nuclear;
+    ck.e_one_electron = result.e_one_electron;
+    ck.e_coulomb = result.e_coulomb;
+    ck.e_exact_exchange = result.e_exact_exchange;
+    ck.e_xc = result.e_xc;
+    ck.density = result.density;
+    ck.fock = result.fock;
+    ck.coefficients = result.coefficients;
+    ck.orbital_energies = result.orbital_energies;
+    ck.ladder_rung = ladder.rung;
+    ck.damping = ladder.damping ? 1 : 0;
+    ck.fp64_latched = ladder.fp64 ? 1 : 0;
+    ck.direct_diag = ladder.direct_diag ? 1 : 0;
+    ck.full_rebuild = ladder.full_rebuild ? 1 : 0;
+    ck.cooldown_until = ladder.cooldown_until;
+    ck.rise_streak = rise_streak;
+    ck.err_hist.assign(err_hist.begin(), err_hist.end());
+    ck.prev_y_occ = prev_y_occ;
+    ck.d_prev = d_prev;
+    ck.j_prev = j_prev;
+    ck.k_prev = k_prev;
+    double diis_err = 0.0;
+    diis.export_state(ck.diis_focks, ck.diis_errors, diis_err);
+    (void)diis_err;  // ck.last_error (the driver's metric) already covers it
+    ck.recovery_log = result.recovery_log;
+    return ck;
+  };
+  auto write_ckpt = [&](const ScfCheckpointState& ck) {
+    const Status st = save_checkpoint(dur.checkpoint_path, ck);
+    if (st.is_ok()) {
+      saved_next = ck.next_iteration;
+      MAKO_METRIC_COUNT("scf.checkpoints_written", 1);
+    } else {
+      // Never take down a healthy run over a failed checkpoint write.
+      log_warn("run_scf: %s", st.message().c_str());
+      MAKO_METRIC_COUNT("scf.checkpoint_write_failures", 1);
+    }
+  };
+
+  for (int iter = start_iter; iter < niter; ++iter) {
+    if (cancel.cancelled()) {
+      cancelled_stop = true;
+      break;
+    }
     Timer iter_timer;
     ScfIterationRecord record;
     obs::TraceSpan iter_span(obs::TraceCat::kScf, "scf.iteration");
@@ -295,6 +474,15 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
       record.domain_faults +=
           static_cast<std::int64_t>(domain_fault_count() - domain_before);
 
+      // Cancellation trips leave J/K partial.  Bail BEFORE the audits: a
+      // half-built Fock legitimately fails the symmetry sentinel, and letting
+      // that read as a numerical fault would spuriously escalate the ladder
+      // on an otherwise healthy run.
+      if (fs.cancelled || cancel.cancelled()) {
+        cancelled_stop = true;
+        break;
+      }
+
       Status st = Status::ok();
       if (robust.sentinels) {
         st = audit_finite(j, "J");
@@ -318,6 +506,7 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
       force_full_this_iter = true;
       ++record.retries;
     }
+    if (cancelled_stop) break;  // discard the partial iteration
     if (!built_ok) {
       record.recovery_mask |= recovery_bit(RecoveryAction::kAbort);
       result.recovery_log.push_back({iter, result.status.kind(),
@@ -328,7 +517,7 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
       record.seconds = iter_timer.seconds();
       result.iteration_log.push_back(record);
       append_telemetry();
-      result.iterations = iter + 1;
+      result.iterations = iter + 1 - start_iter;
       aborted = true;
       break;
     }
@@ -342,8 +531,12 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
     XcResult xres;
     if (grid) {
       MAKO_TRACE_SCOPE(obs::TraceCat::kScf, "scf.xc");
-      xres = integrate_xc(basis, *grid, xc, result.density, be);
+      xres = integrate_xc(basis, *grid, xc, result.density, be, &cancel);
       MAKO_METRIC_COUNT("scf.xc_builds", 1);
+      if (xres.cancelled) {
+        cancelled_stop = true;  // partial quadrature; discard the iteration
+        break;
+      }
     }
 
     // F = H + J - (cx/2) K + Vxc.
@@ -356,13 +549,13 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
     }
     if (grid) fock += xres.vxc;
 
-    // Energy decomposition.
-    result.e_one_electron = trace_product(result.density, hcore);
-    result.e_coulomb = 0.5 * trace_product(result.density, j);
-    result.e_exact_exchange = -0.25 * cx * trace_product(result.density, k);
-    result.e_xc = xres.energy;
-    const double e_elec = result.e_one_electron + result.e_coulomb +
-                          result.e_exact_exchange + result.e_xc;
+    // Energy decomposition.  Locals until the iteration commits: a
+    // cancellation between here and the commit point must return a result
+    // whose energy terms all describe the same (previous) iteration.
+    const double e_one = trace_product(result.density, hcore);
+    const double e_coul = 0.5 * trace_product(result.density, j);
+    const double e_xx = -0.25 * cx * trace_product(result.density, k);
+    const double e_elec = e_one + e_coul + e_xx + xres.energy;
     const double energy = e_elec + result.e_nuclear;
 
     if (robust.sentinels && !std::isfinite(energy)) {
@@ -376,7 +569,7 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
       record.seconds = iter_timer.seconds();
       result.iteration_log.push_back(record);
       append_telemetry();
-      result.iterations = iter + 1;
+      result.iterations = iter + 1 - start_iter;
       aborted = true;
       break;
     }
@@ -411,6 +604,10 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
       f_ortho -= p_occ;
     }
 
+    if (cancel.cancelled()) {
+      cancelled_stop = true;  // abandon before the (serial) diagonalization
+      break;
+    }
     obs::TraceSpan diag_span(obs::TraceCat::kScf, "scf.diagonalize");
     Timer diag_timer;
     EigenResult es;
@@ -486,6 +683,10 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
       result.density(0, 0) *= (1.0 + spec.magnitude);
     }
     result.fock = std::move(fock);
+    result.e_one_electron = e_one;
+    result.e_coulomb = e_coul;
+    result.e_exact_exchange = e_xx;
+    result.e_xc = xres.energy;
 
     record.energy = energy;
     record.error = last_error;
@@ -539,7 +740,7 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
 
     result.iteration_log.push_back(record);
     append_telemetry();
-    result.iterations = iter + 1;
+    result.iterations = iter + 1 - start_iter;
     result.energy = energy;
 
     log_debug("scf iter %2d  E=%.10f  err=%.3e  (%lld fp64 / %lld quant / "
@@ -549,31 +750,84 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
               static_cast<long long>(record.quartets_quantized),
               static_cast<long long>(record.quartets_pruned));
 
+    bool converged_now = false;
     if (options.fixed_iterations <= 0 && iter > 0 &&
         std::fabs(energy - last_energy) < options.energy_convergence &&
         last_error < options.diis_convergence) {
       if (record.quartets_quantized > 0 && !force_exact) {
         // Converged on quantized kernels: re-run the final iteration exact.
         force_exact = true;
-        last_energy = energy;
-        continue;
+      } else {
+        converged_now = true;
+        result.converged = true;
       }
-      result.converged = true;
-      last_energy = energy;
-      break;
     }
     last_energy = energy;
+
+    // End-of-iteration checkpoint: the snapshot describes a run that is
+    // ready to start iteration iter+1 (or is finished).  Written to disk on
+    // the configured cadence and on convergence; the post-loop final write
+    // covers every other exit path.
+    if (!dur.checkpoint_path.empty()) {
+      last_ckpt = capture_ckpt(iter + 1, converged_now);
+      have_ckpt = true;
+      const int every = std::max(dur.checkpoint_interval, 1);
+      if (converged_now || (iter + 1) % every == 0) {
+        write_ckpt(last_ckpt);
+      }
+    }
+    if (converged_now) break;
   }
 
-  if (!aborted && !result.converged && options.fixed_iterations <= 0 &&
-      result.status.is_ok()) {
-    char msg[160];
-    std::snprintf(msg, sizeof msg,
-                  "run_scf: no convergence within %d iterations "
-                  "(last error %.3e); see ScfResult::recovery_log for what "
-                  "the resilience ladder attempted",
-                  result.iterations, last_error);
-    result.status = Status::fault(FaultKind::kStagnation, msg);
+  // Final checkpoint: whatever the exit path (budget, signal, abort,
+  // iteration cap), the last completed iteration is on disk before we return.
+  if (have_ckpt && saved_next != last_ckpt.next_iteration) {
+    write_ckpt(last_ckpt);
+  }
+
+  // Terminal health classification — the CLI exit-code contract.  A cancel
+  // that lands after the run already finished its work does not demote a
+  // converged result.
+  const bool stopped_early =
+      cancelled_stop || (cancel.cancelled() && !result.converged && !aborted &&
+                         result.iterations < niter);
+  if (stopped_early) {
+    const bool deadline = cancel.reason() == CancelReason::kDeadline;
+    result.health =
+        deadline ? Health::kDeadlineExceeded : Health::kCancelled;
+    char msg[224];
+    std::snprintf(
+        msg, sizeof msg,
+        "run_scf: stopped early (%s) after %d completed iterations, "
+        "E=%.10f; %s",
+        to_string(cancel.reason()), result.resumed_from + result.iterations,
+        result.energy,
+        dur.checkpoint_path.empty()
+            ? "no checkpoint configured, restarting loses this progress"
+            : "restore the checkpoint to continue bit-identically");
+    result.status = Status::fault(
+        deadline ? FaultKind::kDeadlineExceeded : FaultKind::kCancelled, msg);
+    log_warn("%s", msg);
+    if (deadline) {
+      MAKO_METRIC_COUNT("scf.deadline_stops", 1);
+    } else {
+      MAKO_METRIC_COUNT("scf.cancel_stops", 1);
+    }
+  } else if (aborted) {
+    result.health = Health::kFault;
+  } else if (!result.converged && options.fixed_iterations <= 0) {
+    result.health = Health::kNotConverged;
+    if (result.status.is_ok()) {
+      char msg[160];
+      std::snprintf(msg, sizeof msg,
+                    "run_scf: no convergence within %d iterations "
+                    "(last error %.3e); see ScfResult::recovery_log for what "
+                    "the resilience ladder attempted",
+                    result.iterations, last_error);
+      result.status = Status::fault(FaultKind::kStagnation, msg);
+    }
+  } else if (result.recovered()) {
+    result.health = Health::kRecovered;
   }
 
   return result;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "chem/molecule.hpp"
@@ -57,6 +58,29 @@ struct ResilienceOptions {
   int max_retries_per_iteration = 3;  ///< hard-fault rebuild retries
   double damping_factor = 0.3;        ///< rung-2 static density mixing
   double level_shift = 0.25;          ///< rung-2 virtual level shift (Ha)
+  /// >0: run the liveness watchdog with this stall window (seconds).  A
+  /// parallel region with no worker heartbeat for the window records a
+  /// FaultKind::kWedged audit event and `robust.watchdog_stalls` metrics;
+  /// it never kills the run (that is the deadline's job).  0 disables.
+  double watchdog_seconds = 0.0;
+};
+
+/// Checkpoint/restart and wall-clock budget configuration.
+///
+/// A checkpoint captures every loop-carried datum of the driver, so a
+/// restored run continues bit-identically (see robust/checkpoint.hpp).
+/// Restore validates a content fingerprint of the molecule/basis/options —
+/// resuming against a different problem throws InputError rather than
+/// silently computing garbage.
+struct DurabilityOptions {
+  std::string checkpoint_path;     ///< ""=never write checkpoints
+  int checkpoint_interval = 1;     ///< write every N completed iterations
+  std::string restore_path;        ///< ""=fresh start
+  /// >0: wall-clock budget (seconds).  The run arms a deadline on the
+  /// context's CancelToken; expiry stops the run gracefully — the partial
+  /// iteration is discarded, a final checkpoint is written, and the result
+  /// carries Health::kDeadlineExceeded with the best-so-far state.
+  double max_seconds = 0.0;
 };
 
 struct ScfOptions {
@@ -85,6 +109,7 @@ struct ScfOptions {
   std::size_t subspace_max_iter = 300;  ///< kSubspace iteration budget
   double subspace_tol = 1e-11;          ///< kSubspace residual tolerance
   ResilienceOptions robust{};           ///< sentinels + recovery ladder
+  DurabilityOptions durability{};       ///< checkpoints + wall-clock budget
 };
 
 struct ScfIterationRecord {
@@ -123,6 +148,14 @@ struct ScfResult {
   /// Overall health: ok unless the recovery ladder was exhausted (or
   /// recovery is disabled) and the run aborted on an unrecoverable fault.
   Status status;
+  /// Terminal health classification — the CLI exit-code contract
+  /// (exit_code_for in robust/status.hpp).  kDeadlineExceeded / kCancelled
+  /// mark a graceful early stop with best-so-far results and (when
+  /// checkpointing is configured) a resumable final checkpoint.
+  Health health = Health::kOk;
+  /// Iterations completed before this run started (restored runs); the
+  /// absolute iteration count is resumed_from + iterations.
+  int resumed_from = 0;
   /// Every recovery-ladder rung taken, in order, with the triggering fault.
   std::vector<RecoveryEvent> recovery_log;
   bool fp64_latched = false;           ///< rung 3 fired (quantization off)

@@ -5,6 +5,7 @@
 
 #include "basis/spherical.hpp"
 #include "linalg/backend.hpp"
+#include "robust/cancel.hpp"
 
 namespace mako {
 namespace {
@@ -283,7 +284,7 @@ void evaluate_aos(const BasisSet& basis, const GridPoint* pts,
 
 XcResult integrate_xc(const BasisSet& basis, const MolecularGrid& grid,
                       const XcFunctional& xc, const MatrixD& d,
-                      const GemmBackend* backend) {
+                      const GemmBackend* backend, const CancelToken* cancel) {
   XcResult result;
   const std::size_t nbf = basis.nbf();
   result.vxc.resize(nbf, nbf, 0.0);
@@ -301,6 +302,10 @@ XcResult integrate_xc(const BasisSet& basis, const MolecularGrid& grid,
   MatrixD bmat;
 
   for (std::size_t start = 0; start < pts.size(); start += kChunk) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      result.cancelled = true;  // partial energy/vxc; caller discards
+      return result;
+    }
     const std::size_t n = std::min(kChunk, pts.size() - start);
     evaluate_aos(basis, pts.data() + start, n, ao, grads ? &gx : nullptr,
                  grads ? &gy : nullptr, grads ? &gz : nullptr);

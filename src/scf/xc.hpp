@@ -17,6 +17,7 @@
 
 namespace mako {
 
+class CancelToken;
 class GemmBackend;
 
 /// Pointwise functional evaluation result (per unit volume).
@@ -61,6 +62,9 @@ struct XcResult {
   double energy = 0.0;
   double n_electrons = 0.0;  ///< integrated density (grid quality check)
   MatrixD vxc;               ///< XC potential matrix in the AO basis
+  /// True when `cancel` tripped mid-quadrature; energy/vxc are then partial
+  /// and must be discarded by the caller.
+  bool cancelled = false;
 };
 
 /// Numerically integrates the XC energy and potential matrix for density
@@ -69,9 +73,12 @@ struct XcResult {
 /// amenable: AO values on point blocks contract with D through GEMMs, which
 /// dispatch through `backend` (the run's ExecutionContext backend) or the
 /// process-wide active backend when null.
+/// `cancel` (optional) is polled once per point chunk; on a trip the
+/// quadrature stops early and the result is marked cancelled.
 XcResult integrate_xc(const BasisSet& basis, const MolecularGrid& grid,
                       const XcFunctional& xc, const MatrixD& d,
-                      const GemmBackend* backend = nullptr);
+                      const GemmBackend* backend = nullptr,
+                      const CancelToken* cancel = nullptr);
 
 /// Evaluates AO values (and optionally gradients) for a block of grid
 /// points: ao is [npts x nbf]; gradients likewise when non-null.

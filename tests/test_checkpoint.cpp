@@ -1,0 +1,408 @@
+// Tests for crash-consistent SCF checkpoints (robust/checkpoint.hpp) and the
+// restore path of the SCF driver: format round-trip, corruption detection,
+// fingerprint guarding, and — the property the subsystem exists for —
+// bit-identical continuation of an interrupted run.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "basis/basis_set.hpp"
+#include "chem/builders.hpp"
+#include "robust/checkpoint.hpp"
+#include "robust/status.hpp"
+#include "scf/scf.hpp"
+
+namespace mako {
+namespace {
+
+/// Unique-per-process scratch path; the file is removed in TearDown.
+std::string scratch_path(const std::string& name) {
+  return "./ckpt_test_" + name + "." + std::to_string(::getpid());
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& p : cleanup_) std::remove(p.c_str());
+  }
+
+  std::string track(const std::string& name) {
+    cleanup_.push_back(scratch_path(name));
+    return cleanup_.back();
+  }
+
+  static MatrixD filled(std::size_t rows, std::size_t cols, double base) {
+    MatrixD m(rows, cols);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      m.data()[i] = base + 0.25 * static_cast<double>(i);
+    }
+    return m;
+  }
+
+  static void expect_bitwise_equal(const MatrixD& a, const MatrixD& b) {
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(double)));
+  }
+
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(CheckpointTest, Crc32MatchesKnownVector) {
+  // The IEEE 802.3 check value for the ASCII string "123456789".
+  EXPECT_EQ(0xCBF43926u, crc32("123456789", 9));
+  EXPECT_EQ(0u, crc32("", 0));
+}
+
+TEST_F(CheckpointTest, RoundTripPreservesEveryField) {
+  ScfCheckpointState s;
+  s.fingerprint = 0x1234'5678'9abc'def0ull;
+  s.next_iteration = 17;
+  s.last_energy = -76.02345678901234;
+  s.last_error = 3.25e-5;
+  s.force_exact = 1;
+  s.converged = 0;
+  s.energy = -76.0;
+  s.e_nuclear = 9.1;
+  s.e_one_electron = -120.5;
+  s.e_coulomb = 46.9;
+  s.e_exact_exchange = -8.9;
+  s.e_xc = -2.6;
+  s.density = filled(7, 7, 0.5);
+  s.fock = filled(7, 7, -1.5);
+  s.coefficients = filled(7, 7, 0.125);
+  s.orbital_energies = VectorD(7, -0.375);
+  s.ladder_rung = 3;
+  s.damping = 1;
+  s.fp64_latched = 1;
+  s.direct_diag = 0;
+  s.full_rebuild = 1;
+  s.cooldown_until = 21;
+  s.rise_streak = 2;
+  s.err_hist = VectorD(5, 1e-3);
+  s.prev_y_occ = filled(7, 5, 0.0625);
+  s.d_prev = filled(7, 7, 2.0);
+  s.j_prev = filled(7, 7, 3.0);
+  s.k_prev = filled(7, 7, 4.0);
+  s.diis_focks = {filled(7, 7, 5.0), filled(7, 7, 6.0)};
+  s.diis_errors = {filled(7, 7, 7.0), filled(7, 7, 8.0)};
+  s.recovery_log.push_back({4, FaultKind::kNonFinite,
+                            RecoveryAction::kPrecisionEscalation,
+                            "test event"});
+  s.rng_state = "opaque-engine-bytes";
+
+  const std::string path = track("roundtrip");
+  ASSERT_TRUE(save_checkpoint(path, s).is_ok());
+  const ScfCheckpointState r = load_checkpoint(path, s.fingerprint);
+
+  EXPECT_EQ(r.fingerprint, s.fingerprint);
+  EXPECT_EQ(r.next_iteration, s.next_iteration);
+  EXPECT_EQ(r.last_energy, s.last_energy);
+  EXPECT_EQ(r.last_error, s.last_error);
+  EXPECT_EQ(r.force_exact, s.force_exact);
+  EXPECT_EQ(r.converged, s.converged);
+  EXPECT_EQ(r.energy, s.energy);
+  EXPECT_EQ(r.e_nuclear, s.e_nuclear);
+  EXPECT_EQ(r.e_one_electron, s.e_one_electron);
+  EXPECT_EQ(r.e_coulomb, s.e_coulomb);
+  EXPECT_EQ(r.e_exact_exchange, s.e_exact_exchange);
+  EXPECT_EQ(r.e_xc, s.e_xc);
+  expect_bitwise_equal(r.density, s.density);
+  expect_bitwise_equal(r.fock, s.fock);
+  expect_bitwise_equal(r.coefficients, s.coefficients);
+  ASSERT_EQ(r.orbital_energies.size(), s.orbital_energies.size());
+  EXPECT_EQ(0, std::memcmp(r.orbital_energies.data(),
+                           s.orbital_energies.data(),
+                           s.orbital_energies.size() * sizeof(double)));
+  EXPECT_EQ(r.ladder_rung, s.ladder_rung);
+  EXPECT_EQ(r.damping, s.damping);
+  EXPECT_EQ(r.fp64_latched, s.fp64_latched);
+  EXPECT_EQ(r.direct_diag, s.direct_diag);
+  EXPECT_EQ(r.full_rebuild, s.full_rebuild);
+  EXPECT_EQ(r.cooldown_until, s.cooldown_until);
+  EXPECT_EQ(r.rise_streak, s.rise_streak);
+  ASSERT_EQ(r.err_hist.size(), s.err_hist.size());
+  expect_bitwise_equal(r.prev_y_occ, s.prev_y_occ);
+  expect_bitwise_equal(r.d_prev, s.d_prev);
+  expect_bitwise_equal(r.j_prev, s.j_prev);
+  expect_bitwise_equal(r.k_prev, s.k_prev);
+  ASSERT_EQ(r.diis_focks.size(), s.diis_focks.size());
+  ASSERT_EQ(r.diis_errors.size(), s.diis_errors.size());
+  for (std::size_t i = 0; i < s.diis_focks.size(); ++i) {
+    expect_bitwise_equal(r.diis_focks[i], s.diis_focks[i]);
+    expect_bitwise_equal(r.diis_errors[i], s.diis_errors[i]);
+  }
+  ASSERT_EQ(r.recovery_log.size(), 1u);
+  EXPECT_EQ(r.recovery_log[0].iteration, 4);
+  EXPECT_EQ(r.recovery_log[0].fault, FaultKind::kNonFinite);
+  EXPECT_EQ(r.recovery_log[0].action, RecoveryAction::kPrecisionEscalation);
+  EXPECT_EQ(r.recovery_log[0].detail, "test event");
+  EXPECT_EQ(r.rng_state, s.rng_state);
+}
+
+TEST_F(CheckpointTest, AtomicWriteLeavesNoTempFile) {
+  const std::string path = track("atomic");
+  ASSERT_TRUE(save_checkpoint(path, ScfCheckpointState{}).is_ok());
+  std::ifstream final_file(path, std::ios::binary);
+  EXPECT_TRUE(final_file.good());
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  std::ifstream tmp_file(tmp, std::ios::binary);
+  EXPECT_FALSE(tmp_file.good());
+}
+
+TEST_F(CheckpointTest, SaveToUnwritablePathReturnsFaultNotThrow) {
+  const Status st =
+      save_checkpoint("/nonexistent-dir/ckpt.bin", ScfCheckpointState{});
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.kind(), FaultKind::kCheckpointError);
+}
+
+TEST_F(CheckpointTest, SingleFlippedByteIsDetected) {
+  ScfCheckpointState s;
+  s.density = filled(5, 5, 1.0);
+  s.energy = -1.25;
+  const std::string path = track("corrupt");
+  ASSERT_TRUE(save_checkpoint(path, s).is_ok());
+
+  // Flip one byte deep inside a payload section.
+  std::fstream f(path,
+                 std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.good());
+  f.seekg(0, std::ios::end);
+  const std::streamoff size = f.tellg();
+  ASSERT_GT(size, 64);
+  const std::streamoff at = size - 9;
+  f.seekg(at);
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  f.seekp(at);
+  f.write(&byte, 1);
+  f.close();
+
+  try {
+    (void)load_checkpoint(path);
+    FAIL() << "corrupt checkpoint loaded without error";
+  } catch (const InputError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kCheckpointCorrupt);
+  }
+}
+
+TEST_F(CheckpointTest, TruncatedFileIsDetected) {
+  ScfCheckpointState s;
+  s.fock = filled(6, 6, 2.0);
+  const std::string path = track("truncated");
+  ASSERT_TRUE(save_checkpoint(path, s).is_ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  out.close();
+
+  try {
+    (void)load_checkpoint(path);
+    FAIL() << "truncated checkpoint loaded without error";
+  } catch (const InputError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kCheckpointCorrupt);
+  }
+}
+
+TEST_F(CheckpointTest, MissingFileIsAnInputError) {
+  EXPECT_THROW((void)load_checkpoint(scratch_path("never-written")),
+               InputError);
+}
+
+TEST_F(CheckpointTest, FingerprintMismatchIsDetected) {
+  ScfCheckpointState s;
+  s.fingerprint = 0xAAAA'BBBB'CCCC'DDDDull;
+  const std::string path = track("fingerprint");
+  ASSERT_TRUE(save_checkpoint(path, s).is_ok());
+  try {
+    (void)load_checkpoint(path, 0x1111'2222'3333'4444ull);
+    FAIL() << "foreign checkpoint accepted";
+  } catch (const InputError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kCheckpointMismatch);
+  }
+  // Zero means "don't check" (the caller has no expectation).
+  EXPECT_EQ(load_checkpoint(path, 0).fingerprint, s.fingerprint);
+}
+
+// --- SCF driver integration ----------------------------------------------
+
+/// The tentpole property: interrupt a run after N iterations, restore, and
+/// the continuation reproduces the uninterrupted trajectory *bit for bit* —
+/// identical per-iteration energies/errors and an identical final state.
+TEST_F(CheckpointTest, ResumedRunIsBitIdenticalToUninterrupted) {
+  const Molecule w = make_water();
+  const BasisSet bs(w, "sto-3g");
+
+  const ScfResult full = run_scf(w, bs, {});
+  ASSERT_TRUE(full.converged);
+  ASSERT_GT(full.iterations, 6);
+
+  const std::string ck = track("resume");
+  ScfOptions head;
+  head.max_iterations = 4;  // interrupt: stop after 4 completed iterations
+  head.durability.checkpoint_path = ck;
+  const ScfResult part = run_scf(w, bs, head);
+  ASSERT_FALSE(part.converged);
+  EXPECT_EQ(part.health, Health::kNotConverged);
+  EXPECT_EQ(part.iterations, 4);
+
+  ScfOptions tail;
+  tail.durability.restore_path = ck;
+  const ScfResult resumed = run_scf(w, bs, tail);
+  EXPECT_TRUE(resumed.converged);
+  EXPECT_EQ(resumed.health, Health::kOk);
+  EXPECT_EQ(resumed.resumed_from, 4);
+  EXPECT_EQ(resumed.resumed_from + resumed.iterations, full.iterations);
+
+  // Bit-identical, not merely close: exact double equality everywhere.
+  EXPECT_EQ(resumed.energy, full.energy);
+  EXPECT_EQ(resumed.e_one_electron, full.e_one_electron);
+  EXPECT_EQ(resumed.e_coulomb, full.e_coulomb);
+  EXPECT_EQ(resumed.e_exact_exchange, full.e_exact_exchange);
+  expect_bitwise_equal(resumed.density, full.density);
+  expect_bitwise_equal(resumed.fock, full.fock);
+  ASSERT_EQ(resumed.iteration_log.size(), full.iteration_log.size() - 4);
+  for (std::size_t i = 0; i < resumed.iteration_log.size(); ++i) {
+    EXPECT_EQ(resumed.iteration_log[i].energy,
+              full.iteration_log[i + 4].energy)
+        << "trajectory diverged at resumed iteration " << i;
+    EXPECT_EQ(resumed.iteration_log[i].error, full.iteration_log[i + 4].error)
+        << "DIIS error diverged at resumed iteration " << i;
+  }
+}
+
+/// Same property with the incremental-Fock accumulators in play — the
+/// d_prev/j_prev/k_prev sections must carry the delta-build state across.
+TEST_F(CheckpointTest, ResumeIsBitIdenticalWithIncrementalFock) {
+  const Molecule w = make_water();
+  const BasisSet bs(w, "sto-3g");
+  ScfOptions base;
+  base.incremental_fock = true;
+
+  const ScfResult full = run_scf(w, bs, base);
+  ASSERT_TRUE(full.converged);
+  ASSERT_GT(full.iterations, 5);
+
+  const std::string ck = track("resume-incr");
+  ScfOptions head = base;
+  head.max_iterations = 3;
+  head.durability.checkpoint_path = ck;
+  const ScfResult part = run_scf(w, bs, head);
+  ASSERT_FALSE(part.converged);
+
+  ScfOptions tail = base;
+  tail.durability.restore_path = ck;
+  const ScfResult resumed = run_scf(w, bs, tail);
+  EXPECT_TRUE(resumed.converged);
+  EXPECT_EQ(resumed.resumed_from, 3);
+  EXPECT_EQ(resumed.energy, full.energy);
+  expect_bitwise_equal(resumed.density, full.density);
+}
+
+TEST_F(CheckpointTest, CheckpointIntervalSkipsIntermediateWrites) {
+  const Molecule w = make_water();
+  const BasisSet bs(w, "sto-3g");
+  const std::string ck = track("interval");
+  ScfOptions opt;
+  opt.max_iterations = 5;
+  opt.durability.checkpoint_path = ck;
+  opt.durability.checkpoint_interval = 3;
+  const ScfResult r = run_scf(w, bs, opt);
+  ASSERT_FALSE(r.converged);
+  // Iterations 3 was the only periodic write; the final-state write then
+  // persists iteration 5 on exit, so the file must resume at iteration 5.
+  const ScfCheckpointState s = load_checkpoint(ck);
+  EXPECT_EQ(s.next_iteration, 5);
+}
+
+TEST_F(CheckpointTest, RestoringAConvergedCheckpointReturnsImmediately) {
+  const Molecule w = make_water();
+  const BasisSet bs(w, "sto-3g");
+  const std::string ck = track("converged");
+  ScfOptions opt;
+  opt.durability.checkpoint_path = ck;
+  const ScfResult full = run_scf(w, bs, opt);
+  ASSERT_TRUE(full.converged);
+
+  ScfOptions again;
+  again.durability.restore_path = ck;
+  const ScfResult r = run_scf(w, bs, again);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.health, Health::kOk);
+  EXPECT_EQ(r.iterations, 0);
+  EXPECT_EQ(r.resumed_from, full.iterations);
+  EXPECT_EQ(r.energy, full.energy);
+}
+
+TEST_F(CheckpointTest, ScfRejectsCheckpointOfDifferentProblem) {
+  const Molecule w = make_water();
+  const BasisSet bs(w, "sto-3g");
+  const std::string ck = track("foreign");
+  ScfOptions opt;
+  opt.max_iterations = 2;
+  opt.durability.checkpoint_path = ck;
+  (void)run_scf(w, bs, opt);
+
+  // Same checkpoint, different molecule: the fingerprint must refuse it.
+  const Molecule methane = make_alkane(1);
+  const BasisSet mbs(methane, "sto-3g");
+  ScfOptions restore;
+  restore.durability.restore_path = ck;
+  try {
+    (void)run_scf(methane, mbs, restore);
+    FAIL() << "restored a checkpoint of a different molecule";
+  } catch (const InputError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kCheckpointMismatch);
+  }
+
+  // Different trajectory-shaping option on the same molecule: also refused.
+  ScfOptions nodiis;
+  nodiis.use_diis = false;
+  nodiis.durability.restore_path = ck;
+  EXPECT_THROW((void)run_scf(w, bs, nodiis), InputError);
+}
+
+TEST_F(CheckpointTest, ScfRejectsCorruptedCheckpoint) {
+  const Molecule w = make_water();
+  const BasisSet bs(w, "sto-3g");
+  const std::string ck = track("scf-corrupt");
+  ScfOptions opt;
+  opt.max_iterations = 2;
+  opt.durability.checkpoint_path = ck;
+  (void)run_scf(w, bs, opt);
+
+  std::fstream f(ck, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.good());
+  f.seekg(0, std::ios::end);
+  const std::streamoff at = static_cast<std::streamoff>(f.tellg()) / 2;
+  f.seekg(at);
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x01);
+  f.seekp(at);
+  f.write(&byte, 1);
+  f.close();
+
+  ScfOptions restore;
+  restore.durability.restore_path = ck;
+  try {
+    (void)run_scf(w, bs, restore);
+    FAIL() << "restored a corrupted checkpoint";
+  } catch (const InputError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kCheckpointCorrupt);
+  }
+}
+
+}  // namespace
+}  // namespace mako

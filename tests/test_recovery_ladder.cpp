@@ -12,6 +12,7 @@
 #include "parallel/simcomm.hpp"
 #include "robust/fault_injector.hpp"
 #include "robust/status.hpp"
+#include "scf/fock_plan.hpp"
 #include "scf/scf.hpp"
 
 namespace mako {
@@ -190,6 +191,87 @@ TEST_F(RecoveryLadderTest, IncrementalMatchesFullRebuildTightly) {
   EXPECT_TRUE(r_incr.converged);
   EXPECT_FALSE(r_incr.recovered());
   EXPECT_NEAR(r_full.energy, r_incr.energy, 1e-9);
+}
+
+// Satellite: the rung-5 latch must keep *reusing* the cached FockPlan — a
+// full (non-incremental) rebuild changes what is routed per iteration, not
+// the screening plan itself.  Counter-based, not timing-based.
+TEST_F(RecoveryLadderTest, FullRebuildLatchReusesCachedPlan) {
+  const Molecule w = make_water();
+  const BasisSet bs(w, "sto-3g");
+
+  // Prime the per-context plan cache with a clean run: exactly one build.
+  const ExecutionContext ctx(
+      ExecutionContextOptions{.backend = "", .make_active = false});
+  (void)run_scf(w, bs, {}, &ctx);
+  const FockPlanCache& cache = ctx.components().get<FockPlanCache>();
+  ASSERT_EQ(cache.builds(), 1);
+  ASSERT_EQ(cache.hits(), 0);
+
+  FaultSpec spec;
+  spec.mode = FaultMode::kScale;
+  spec.magnitude = 1e-3;
+  spec.max_fires = -1;
+  FaultInjector::instance().arm("scf.incremental_drift", spec);
+
+  ScfOptions opt;
+  opt.incremental_fock = true;
+  opt.incremental_rebuild_period = 100;
+  opt.max_iterations = 100;
+  const ScfResult r = run_scf(w, bs, opt, &ctx);
+
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.full_rebuild_latched);
+  EXPECT_TRUE(ladder_took(r, RecoveryAction::kFockRebuild));
+  // The rung-5 run *hit* the cached plan; it never reconstructed it.
+  EXPECT_EQ(cache.builds(), 1) << "rung 5 rebuilt the screening plan";
+  EXPECT_GE(cache.hits(), 1);
+}
+
+// Satellite site fock.plan_build: a NaN corrupted into the Schwarz bounds
+// while the screening plan is constructed must be sanitized (replaced by the
+// maximum finite bound, i.e. "never prune what we cannot bound"), so the run
+// converges to the exact energy instead of silently dropping quartets for
+// its entire lifetime — the plan is cached and outlives every iteration.
+TEST_F(RecoveryLadderTest, PlanBuildCorruptionIsSanitized) {
+  const Molecule w = make_water();
+  const BasisSet bs(w, "sto-3g");
+  const double e_exact = run_scf(w, bs, {}).energy;
+
+  FaultSpec spec;
+  spec.mode = FaultMode::kNaN;
+  spec.max_fires = 1;
+  FaultInjector::instance().arm("fock.plan_build", spec);
+
+  // Fresh context -> fresh FockPlanCache -> the plan is actually rebuilt
+  // (and corrupted) instead of served from another test's cache.
+  const ExecutionContext ctx(ExecutionContextOptions{.backend = "", .make_active = false});
+  const ScfResult r = run_scf(w, bs, {}, &ctx);
+
+  EXPECT_EQ(FaultInjector::instance().fires("fock.plan_build"), 1u);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.energy, e_exact, 1e-8);
+}
+
+// Satellite site fock.route: corrupting the per-block density maxima of one
+// build mis-screens that single Fock build; SCF must self-heal (the next
+// iteration recomputes the maxima) and still converge to the exact energy.
+TEST_F(RecoveryLadderTest, RouteCorruptionSelfHeals) {
+  const Molecule w = make_water();
+  const BasisSet bs(w, "sto-3g");
+  const double e_exact = run_scf(w, bs, {}).energy;
+
+  FaultSpec spec;
+  spec.mode = FaultMode::kNaN;
+  spec.max_fires = 1;
+  FaultInjector::instance().arm("fock.route", spec);
+
+  const ExecutionContext ctx(ExecutionContextOptions{.backend = "", .make_active = false});
+  const ScfResult r = run_scf(w, bs, {}, &ctx);
+
+  EXPECT_EQ(FaultInjector::instance().fires("fock.route"), 1u);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.energy, e_exact, 1e-8);
 }
 
 TEST_F(RecoveryLadderTest, AllreduceCorruptionRetriesAndRecovers) {
