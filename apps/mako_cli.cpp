@@ -3,9 +3,16 @@
 //
 // Usage:
 //   mako --mol <file.xyz> [options]
+//   mako --batch <manifest.json> [--jobs K] [--batch-out out.json]
 //
 // Options:
 //   --mol <path>          XYZ geometry (Angstrom)            [required]
+//   --batch <path>        JSON manifest of jobs; runs them concurrently in
+//                         one process over one shared execution context
+//                         (plan caches built once, reused across jobs)
+//   --jobs <k>            jobs in flight for --batch           [2]
+//   --batch-out <path>    write the per-job results + throughput stats JSON
+//                         here (always also printed to stdout)
 //   --basis <name>        sto-3g | 6-31g | def2-tzvp | def2-qzvp |
 //                         cc-pvtz | cc-pvqz                  [sto-3g]
 //   --xc <name>           hf | lda | blyp | b3lyp            [hf]
@@ -45,6 +52,10 @@
 //   5  stopped on an unrecoverable numerical fault
 //   6  wall-clock budget (--max-seconds) expired; checkpoint resumable
 //   7  cancelled by SIGINT/SIGTERM; checkpoint resumable
+//
+// In --batch mode each job carries its own health in the JSON document and
+// the process exits with the MAXIMUM per-job exit code (0 iff every job
+// converged cleanly), so "the whole batch is healthy" stays scriptable.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -52,6 +63,7 @@
 #include <iostream>
 #include <string>
 
+#include "core/batch.hpp"
 #include "core/mako.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
@@ -65,6 +77,7 @@ namespace {
 void print_usage() {
   std::printf(
       "usage: mako --mol <file.xyz> [--basis NAME] [--xc NAME]\n"
+      "       mako --batch <manifest.json> [--jobs K] [--batch-out PATH]\n"
       "            [--engine mako|reference] [--backend NAME] [--quantize]\n"
       "            [--autotune]\n"
       "            [--iterations N] [--max-iterations N] [--convergence EPS]\n"
@@ -89,6 +102,9 @@ extern "C" void handle_stop_signal(int) {
 
 int main(int argc, char** argv) {
   std::string mol_path;
+  std::string batch_path;
+  std::string batch_out;
+  int batch_jobs = 2;
   int charge = 0;
   std::string trace_path;
   std::string metrics_path;
@@ -107,6 +123,16 @@ int main(int argc, char** argv) {
     };
     if (arg == "--mol") {
       mol_path = next("--mol");
+    } else if (arg == "--batch") {
+      batch_path = next("--batch");
+    } else if (arg == "--jobs") {
+      batch_jobs = std::atoi(next("--jobs").c_str());
+      if (batch_jobs < 1) {
+        std::fprintf(stderr, "mako: --jobs must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--batch-out") {
+      batch_out = next("--batch-out");
     } else if (arg == "--basis") {
       options.basis = next("--basis");
     } else if (arg == "--xc") {
@@ -179,8 +205,56 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!batch_path.empty()) {
+    if (!mol_path.empty()) {
+      std::fprintf(stderr, "mako: --mol and --batch are mutually exclusive\n");
+      return 2;
+    }
+    // Same graceful-stop path as solo mode: the signal trips the process
+    // token, which every job token chains under, so ^C cancels the batch.
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    try {
+      const std::vector<mako::BatchJobSpec> jobs =
+          mako::BatchScheduler::load_manifest(batch_path);
+      mako::BatchOptions batch_options;
+      batch_options.concurrency = batch_jobs;
+      batch_options.backend = options.backend;
+      batch_options.device = options.device;
+      std::printf("Mako — batch mode: %zu jobs from %s, %d in flight\n",
+                  jobs.size(), batch_path.c_str(), batch_jobs);
+      mako::BatchScheduler scheduler(batch_options);
+      const std::vector<mako::BatchJobResult> results = scheduler.run(jobs);
+
+      const std::string json =
+          mako::batch_results_json(results, scheduler.stats());
+      std::fputs(json.c_str(), stdout);
+      if (!batch_out.empty()) {
+        std::FILE* f = std::fopen(batch_out.c_str(), "w");
+        if (f == nullptr) {
+          std::fprintf(stderr, "mako: failed to write batch results to '%s'\n",
+                       batch_out.c_str());
+          return 1;
+        }
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+      }
+      int worst = 0;
+      for (const mako::BatchJobResult& r : results) {
+        if (r.exit_code > worst) worst = r.exit_code;
+      }
+      return worst;
+    } catch (const mako::InputError& e) {
+      std::fprintf(stderr, "mako: %s\n", e.what());
+      return 2;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mako: error: %s\n", e.what());
+      return 1;
+    }
+  }
+
   if (mol_path.empty()) {
-    std::fprintf(stderr, "mako: --mol is required\n");
+    std::fprintf(stderr, "mako: --mol or --batch is required\n");
     print_usage();
     return 2;
   }

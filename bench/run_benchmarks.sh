@@ -37,7 +37,8 @@ done
 if [ ! -d "${BUILD_DIR}" ]; then
   cmake -B "${BUILD_DIR}" -S .
 fi
-cmake --build "${BUILD_DIR}" -j --target bench_fig6_eri_micro bench_fig8_end2end
+cmake --build "${BUILD_DIR}" -j --target bench_fig6_eri_micro \
+  bench_fig8_end2end bench_batch_throughput
 
 mkdir -p "${OUT_DIR}"
 
@@ -58,4 +59,10 @@ echo "== Figure 8: end-to-end SCF iteration time =="
   "--json=${OUT_DIR}/BENCH_fig8.json"
 
 echo
-echo "wrote ${OUT_DIR}/BENCH_fig6.json and ${OUT_DIR}/BENCH_fig8.json"
+echo "== Batch: multi-molecule throughput =="
+"${BUILD_DIR}/bench/bench_batch_throughput" \
+  "--json=${OUT_DIR}/BENCH_batch.json"
+
+echo
+echo "wrote ${OUT_DIR}/BENCH_fig6.json, ${OUT_DIR}/BENCH_fig8.json and" \
+  "${OUT_DIR}/BENCH_batch.json"

@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# End-to-end batch-mode checks against the mako CLI binary:
+#
+#   1. mixed manifest: converging jobs, a --max-seconds job, and a
+#      fault-injected incremental job run concurrently in one process; each
+#      gets its own health (ok / deadline-exceeded / recovered), the process
+#      exits with the worst per-job code, and the shared Fock plan cache
+#      reports cross-job hits.
+#   2. determinism: identical jobs inside one batch print identical energies,
+#      and re-running the manifest reproduces them digit-for-digit.
+#   3. isolation: a job with a missing geometry file becomes an error entry
+#      in its own slot; its siblings still converge.
+#   4. validation: a manifest with a typo'd key is rejected with exit 2.
+#   5. cancellation: SIGTERM mid-batch exits 7 (the process token cascades
+#      into every job token).
+#
+# Usage: test_batch_cli.sh <path-to-mako-binary> <sample-dir>
+set -u
+
+MAKO="${1:?usage: test_batch_cli.sh <mako-binary> <sample-dir>}"
+SAMPLES="${2:?usage: test_batch_cli.sh <mako-binary> <sample-dir>}"
+# Manifests resolve relative xyz paths against their own directory, and the
+# generated manifests below live in $WORK — so sample paths must be absolute.
+SAMPLES="$(cd "$SAMPLES" && pwd)" || exit 1
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/mako_batch.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+pass() { echo "  ok: $*"; }
+
+job_field() {  # job_field <json> <job-name> <field>
+  grep "\"name\": \"$2\"" "$1" | sed "s/.*\"$3\": \([^,}]*\).*/\1/"
+}
+
+[ -x "$MAKO" ] || fail "mako binary '$MAKO' not executable"
+[ -f "$SAMPLES/batch.json" ] || fail "sample manifest missing"
+
+# ---- 1. mixed manifest: independent per-job healths ------------------------
+"$MAKO" --batch "$SAMPLES/batch.json" --jobs 4 \
+  --batch-out "$WORK/mixed.json" >"$WORK/mixed.log" 2>&1
+code=$?
+[ "$code" -eq 6 ] || fail "mixed batch exited $code (want 6: worst job code)"
+[ -f "$WORK/mixed.json" ] || fail "--batch-out wrote no file"
+
+h_water="$(job_field "$WORK/mixed.json" water health)"
+h_deadline="$(job_field "$WORK/mixed.json" water3-deadline health)"
+h_drift="$(job_field "$WORK/mixed.json" water-drift health)"
+[ "$h_water" = '"ok"' ] || fail "water health $h_water (want ok)"
+[ "$h_deadline" = '"deadline-exceeded"' ] ||
+  fail "deadline job health $h_deadline (want deadline-exceeded)"
+if grep -q '"fault_injection_compiled_in": true' "$WORK/mixed.json"; then
+  [ "$h_drift" = '"recovered"' ] ||
+    fail "drift job health $h_drift (want recovered)"
+else
+  [ "$h_drift" = '"ok"' ] ||
+    fail "drift job health $h_drift (want ok: injection compiled out)"
+fi
+
+hits="$(sed -n 's/.*"fock_plan_hits": \([0-9]*\).*/\1/p' "$WORK/mixed.json")"
+[ -n "$hits" ] && [ "$hits" -gt 0 ] ||
+  fail "no cross-job Fock plan cache hits (got '${hits:-none}')"
+pass "mixed batch: per-job healths independent, plan cache hit $hits times"
+
+# ---- 2. determinism: within the batch and across reruns --------------------
+e1="$(job_field "$WORK/mixed.json" water energy)"
+e2="$(job_field "$WORK/mixed.json" water-again energy)"
+[ -n "$e1" ] || fail "water job printed no energy"
+[ "$e1" = "$e2" ] || fail "identical jobs differ in-batch: $e1 vs $e2"
+
+"$MAKO" --batch "$SAMPLES/batch.json" --jobs 4 \
+  --batch-out "$WORK/mixed2.json" >"$WORK/mixed2.log" 2>&1
+e1b="$(job_field "$WORK/mixed2.json" water energy)"
+[ "$e1" = "$e1b" ] || fail "rerun energy differs: $e1 vs $e1b"
+pass "energies bit-identical within the batch and across reruns"
+
+# ---- 3. isolation: one broken job, siblings unharmed -----------------------
+cat >"$WORK/broken.json" <<EOF
+{
+  "jobs": [
+    {"name": "good", "xyz": "$SAMPLES/water.xyz"},
+    {"name": "missing", "xyz": "$WORK/does_not_exist.xyz"}
+  ]
+}
+EOF
+"$MAKO" --batch "$WORK/broken.json" --jobs 2 \
+  --batch-out "$WORK/broken_out.json" >"$WORK/broken.log" 2>&1
+code=$?
+[ "$code" -eq 1 ] || fail "broken batch exited $code (want 1)"
+[ "$(job_field "$WORK/broken_out.json" good health)" = '"ok"' ] ||
+  fail "good job did not survive its broken sibling"
+[ "$(job_field "$WORK/broken_out.json" missing ran)" = "false" ] ||
+  fail "missing-geometry job was not rejected"
+pass "a broken job fails alone; its sibling converges"
+
+# ---- 4. manifest validation ------------------------------------------------
+cat >"$WORK/typo.json" <<EOF
+{"jobs": [{"name": "x", "xyz": "$SAMPLES/water.xyz", "basiss": "sto-3g"}]}
+EOF
+"$MAKO" --batch "$WORK/typo.json" >"$WORK/typo.log" 2>&1
+code=$?
+[ "$code" -eq 2 ] || fail "typo'd manifest exited $code (want 2)"
+grep -q "batch manifest" "$WORK/typo.log" ||
+  fail "typo'd manifest error did not mention the manifest"
+pass "unknown manifest keys are rejected with exit 2"
+
+# ---- 5. SIGTERM cancels the whole batch ------------------------------------
+cat >"$WORK/endless.json" <<EOF
+{
+  "defaults": {"convergence": 0, "max_iterations": 100000},
+  "jobs": [
+    {"name": "spin1", "xyz": "$SAMPLES/water.xyz"},
+    {"name": "spin2", "xyz": "$SAMPLES/water.xyz"}
+  ]
+}
+EOF
+"$MAKO" --batch "$WORK/endless.json" --jobs 2 >"$WORK/endless.log" 2>&1 &
+pid=$!
+sleep 2
+kill -TERM "$pid" 2>/dev/null
+wait "$pid"
+code=$?
+[ "$code" -eq 7 ] || fail "SIGTERM'd batch exited $code (want 7: cancelled)"
+pass "SIGTERM cascades into every job (exit 7)"
+
+echo "batch_cli: all legs passed"

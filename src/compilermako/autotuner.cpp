@@ -72,9 +72,14 @@ CalibrationBatch make_calibration_batch(const EriClassKey& key,
 const TunedKernel& Autotuner::tune(const EriClassKey& key,
                                    Precision precision) {
   const CacheKey cache_key{backend_->name(), key, precision};
-  auto it = cache_.find(cache_key);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(cache_key);
+    if (it != cache_.end()) return it->second;
+  }
 
+  // Profile outside the lock: tuning is seconds of kernel dispatches and
+  // must not serialize unrelated classes being tuned by sibling jobs.
   const CalibrationBatch batch = make_calibration_batch(
       key, static_cast<std::size_t>(options_.calibration_batch));
   std::span<const QuartetRef> quartets(batch.quartets);
@@ -124,17 +129,22 @@ const TunedKernel& Autotuner::tune(const EriClassKey& key,
             to_string(best.plan.strategy), best.measured_seconds * 1e3,
             best.candidates_profiled);
 
+  // Two racing tuners may both have profiled this key; emplace keeps the
+  // first result so every caller sees one stable configuration.
+  std::lock_guard<std::mutex> lock(mutex_);
   return cache_.emplace(cache_key, best).first->second;
 }
 
 std::optional<TunedKernel> Autotuner::lookup(const EriClassKey& key,
                                              Precision precision) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = cache_.find(CacheKey{backend_->name(), key, precision});
   if (it == cache_.end()) return std::nullopt;
   return it->second;
 }
 
 std::string Autotuner::serialize_cache() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;
   out << "# mako-autotuner-cache v2\n";
   for (const auto& [key, tuned] : cache_) {
@@ -151,6 +161,7 @@ std::string Autotuner::serialize_cache() const {
 }
 
 void Autotuner::load_cache(const std::string& text) {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::istringstream in(text);
   std::string line;
   while (std::getline(in, line)) {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <tuple>
@@ -55,9 +56,15 @@ class Autotuner {
 
   /// Runs Algorithm 2 for the class at the precision, profiling on a
   /// synthetic calibration batch.  Cached per (class, precision).
+  ///
+  /// Thread-safe: a batch of concurrent jobs shares one tuner, so the cache
+  /// is mutex-guarded.  Profiling runs outside the lock; when two threads
+  /// race to tune the same key both profile but the first insert wins, so
+  /// every caller observes one stable configuration.  The returned reference
+  /// stays valid for the tuner's lifetime (map nodes are never erased).
   const TunedKernel& tune(const EriClassKey& key, Precision precision);
 
-  /// Cache lookup without tuning.
+  /// Cache lookup without tuning.  Thread-safe.
   [[nodiscard]] std::optional<TunedKernel> lookup(const EriClassKey& key,
                                                   Precision precision) const;
 
@@ -67,6 +74,7 @@ class Autotuner {
     return *backend_;
   }
   [[nodiscard]] std::size_t cache_size() const noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
     return cache_.size();
   }
 
@@ -86,6 +94,8 @@ class Autotuner {
   DeviceSpec device_;
   TunerOptions options_;
   const GemmBackend* backend_;  ///< never null
+  /// Guards cache_ (tune/lookup/serialize run concurrently in batch mode).
+  mutable std::mutex mutex_;
   std::map<CacheKey, TunedKernel> cache_;
 };
 

@@ -16,7 +16,8 @@ ExecutionContext::ExecutionContext(ExecutionContextOptions options)
                                         : &CancelToken::process()),
       faults_(&FaultInjector::instance()),
       metrics_(&obs::MetricsRegistry::global()),
-      tracer_(&obs::Tracer::instance()) {
+      tracer_(&obs::Tracer::instance()),
+      components_(std::make_shared<ComponentCache>()) {
   if (options.make_active) {
     GemmBackendRegistry::instance().set_active(*backend_);
   }
@@ -27,6 +28,20 @@ ExecutionContext::ExecutionContext(ExecutionContextOptions options)
         backend_->name().c_str());
   }
 }
+
+ExecutionContext::ExecutionContext(const ExecutionContext& parent,
+                                   CancelToken& cancel)
+    : backend_(parent.backend_),
+      device_(parent.device_),
+      scheduler_(parent.scheduler_),
+      enable_quantization_(parent.enable_quantization_),
+      pool_(parent.pool_),
+      plans_(parent.plans_),
+      cancel_(&cancel),
+      faults_(parent.faults_),
+      metrics_(parent.metrics_),
+      tracer_(parent.tracer_),
+      components_(parent.components_) {}
 
 const ExecutionContext& ExecutionContext::process() {
   // Leaky singleton; make_active=false so a bare run_scf never steals the

@@ -109,6 +109,14 @@ class ExecutionContext {
  public:
   explicit ExecutionContext(ExecutionContextOptions options = {});
 
+  /// Per-job view for batch execution: shares every subsystem and cache of
+  /// `parent` — backend, device, pool, ERI plan cache, ComponentCache (and
+  /// with it the FockPlanCache) — but polls its own CancelToken, so one
+  /// job's deadline or fault cancels only that job.  The parent (and the
+  /// token) must outlive the view.  Never touches the process-wide active
+  /// backend slot.
+  ExecutionContext(const ExecutionContext& parent, CancelToken& cancel);
+
   ExecutionContext(const ExecutionContext&) = delete;
   ExecutionContext& operator=(const ExecutionContext&) = delete;
 
@@ -160,9 +168,11 @@ class ExecutionContext {
 
   /// Per-context anchor for higher-layer caches (FockPlanCache et al.);
   /// see ComponentCache.  The context stays logically immutable — components
-  /// are lazily built services, not configuration.
+  /// are lazily built services, not configuration.  Job views share their
+  /// parent's cache, which is what lets N batch jobs over one basis build a
+  /// FockPlan once.
   [[nodiscard]] ComponentCache& components() const noexcept {
-    return components_;
+    return *components_;
   }
 
   /// Simulated communicator over `size` ranks, wired to this context's
@@ -182,7 +192,8 @@ class ExecutionContext {
   FaultInjector* faults_;
   obs::MetricsRegistry* metrics_;
   obs::Tracer* tracer_;
-  mutable ComponentCache components_;
+  /// Shared with job views derived from this context; never null.
+  std::shared_ptr<ComponentCache> components_;
 };
 
 }  // namespace mako

@@ -51,18 +51,18 @@ MakoEngine::MakoEngine(MakoOptions options)
           .enable_quantization = options_.quantization}),
       tuner_(options_.device, options_.tuner, &context_.backend()) {}
 
-ScfOptions MakoEngine::make_scf_options() const {
+ScfOptions scf_options_from(const MakoOptions& options) {
   ScfOptions scf;
-  scf.xc = XcFunctional::from_name(options_.functional);
-  scf.fock.engine = options_.engine;
-  scf.fock.batch_size = options_.batch_size;
-  scf.grid = options_.grid;
-  scf.max_iterations = options_.max_iterations;
-  scf.fixed_iterations = options_.fixed_iterations;
-  scf.energy_convergence = options_.convergence;
-  scf.enable_quantization = options_.quantization;
-  scf.durability = options_.durability;
-  scf.robust.watchdog_seconds = options_.watchdog_seconds;
+  scf.xc = XcFunctional::from_name(options.functional);
+  scf.fock.engine = options.engine;
+  scf.fock.batch_size = options.batch_size;
+  scf.grid = options.grid;
+  scf.max_iterations = options.max_iterations;
+  scf.fixed_iterations = options.fixed_iterations;
+  scf.energy_convergence = options.convergence;
+  scf.enable_quantization = options.quantization;
+  scf.durability = options.durability;
+  scf.robust.watchdog_seconds = options.watchdog_seconds;
   return scf;
 }
 
@@ -97,7 +97,7 @@ MakoReport MakoEngine::compute_energy(const Molecule& mol) {
   report.nbf = basis.nbf();
   report.num_shells = basis.num_shells();
 
-  ScfOptions scf_options = make_scf_options();
+  ScfOptions scf_options = scf_options_from(options_);
   if (options_.autotune) {
     scf_options.fock.tuner = &tuner_;
   }

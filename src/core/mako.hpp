@@ -47,6 +47,12 @@ struct MakoOptions {
   double watchdog_seconds = 0.0;
 };
 
+/// Expands top-level MakoOptions into the full ScfOptions the SCF driver
+/// takes.  Shared by MakoEngine and the BatchScheduler so a job run in a
+/// batch sees exactly the options a solo engine run would (the cross-job
+/// determinism tests depend on this being the single expansion point).
+[[nodiscard]] ScfOptions scf_options_from(const MakoOptions& options);
+
 /// Result bundle.
 struct MakoReport {
   ScfResult scf;
@@ -83,8 +89,6 @@ class MakoEngine {
   }
 
  private:
-  ScfOptions make_scf_options() const;
-
   MakoOptions options_;
   ExecutionContext context_;  ///< before tuner_: the tuner profiles on it
   Autotuner tuner_;

@@ -81,13 +81,26 @@ void ThreadPool::parallel_for(std::size_t count,
   // this pool's own workers.  The nested case used to deadlock — the worker
   // queued tasks and then blocked waiting for them, but as a worker it was
   // itself the thread that should have run them.
+  //
+  // Inline chunks stamp the liveness heartbeat exactly like queued chunks do.
+  // Without this a batch job whose parallel loops all run nested-inline makes
+  // no heartbeat progress at all, and the watchdog reports a healthy run as
+  // kWedged the moment any sibling holds a parallel region open.
   if (workers_.empty() || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    Watchdog& dog = Watchdog::instance();
+    for (std::size_t i = 0; i < count; ++i) {
+      dog.beat();
+      fn(i);
+    }
     return;
   }
   if (tl_worker_pool == this) {
     MAKO_METRIC_COUNT("pool.nested_inline", 1);
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    Watchdog& dog = Watchdog::instance();
+    for (std::size_t i = 0; i < count; ++i) {
+      dog.beat();
+      fn(i);
+    }
     return;
   }
   MAKO_METRIC_COUNT("pool.parallel_for", 1);

@@ -40,7 +40,9 @@ class ThreadPool {
   /// The caller participates in the loop (it claims chunks like a worker), so
   /// progress is guaranteed even when all workers are busy.  With zero
   /// workers, count==1, or when called from a worker thread of this pool
-  /// (nested parallelism) the loop runs inline.
+  /// (nested parallelism) the loop runs inline.  Every execution path —
+  /// queued worker chunks, caller-drained chunks, and the inline/nested
+  /// fallbacks — stamps the liveness-watchdog heartbeat.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 

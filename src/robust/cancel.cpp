@@ -80,15 +80,28 @@ void CancelToken::clear() noexcept {
 
 bool CancelToken::cancelled() const noexcept {
   if (reason_.load(std::memory_order_relaxed) != 0) return true;
-  if (!has_deadline_.load(std::memory_order_relaxed)) return false;
-  if (now_ns() < deadline_ns_.load(std::memory_order_relaxed)) return false;
-  // Latch the expiry as a cancellation so every subsequent poll is a single
-  // relaxed load and the reason survives a later clear_deadline().
-  std::uint8_t expected = 0;
-  reason_.compare_exchange_strong(
-      expected, static_cast<std::uint8_t>(CancelReason::kDeadline),
-      std::memory_order_acq_rel, std::memory_order_acquire);
-  return true;
+  if (has_deadline_.load(std::memory_order_relaxed) &&
+      now_ns() >= deadline_ns_.load(std::memory_order_relaxed)) {
+    // Latch the expiry as a cancellation so every subsequent poll is a single
+    // relaxed load and the reason survives a later clear_deadline().
+    std::uint8_t expected = 0;
+    reason_.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(CancelReason::kDeadline),
+        std::memory_order_acq_rel, std::memory_order_acquire);
+    return true;
+  }
+  // Cascade from the parent chain (batch/process tokens).  The parent's
+  // reason is latched locally so health classification reads the true cause
+  // (e.g. kSignal for a whole-batch Ctrl-C) even after the parent clears.
+  const CancelToken* p = parent_.load(std::memory_order_acquire);
+  if (p != nullptr && p->cancelled()) {
+    std::uint8_t expected = 0;
+    reason_.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(p->reason()),
+        std::memory_order_acq_rel, std::memory_order_acquire);
+    return true;
+  }
+  return false;
 }
 
 double CancelToken::remaining_seconds() const noexcept {

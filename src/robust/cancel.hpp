@@ -52,6 +52,10 @@ class Deadline {
 /// Shared stop-flag polled by the compute loops.  Thread-safe: any thread may
 /// request cancellation; every worker may poll concurrently.  The first
 /// request wins (the recorded reason never changes until clear()).
+///
+/// Tokens can be chained: a per-job token in a batch links to the batch's
+/// token (which in turn links to the process-wide one), so a SIGINT still
+/// stops every job while one job's expired deadline cancels only itself.
 class CancelToken {
  public:
   CancelToken() = default;
@@ -67,7 +71,21 @@ class CancelToken {
   void clear_deadline() noexcept;
 
   /// Fully rearm the token: clears the cancel state and the deadline.
+  /// Leaves any parent link in place.
   void clear() noexcept;
+
+  /// Links this token under `parent`: a poll that finds `parent` cancelled
+  /// cancels this token too (latching the parent's reason, first-wins).
+  /// Cancellation only flows downward — tripping THIS token never touches
+  /// the parent, which is what keeps one batch job's deadline from stopping
+  /// its siblings.  Chains are followed transitively (job -> batch ->
+  /// process).  `nullptr` unlinks.  The parent must outlive this token.
+  void link_parent(const CancelToken* parent) noexcept {
+    parent_.store(parent, std::memory_order_release);
+  }
+  [[nodiscard]] const CancelToken* parent() const noexcept {
+    return parent_.load(std::memory_order_acquire);
+  }
 
   /// The poll: true once a stop was requested or the armed deadline passed.
   /// The deadline check latches — once observed expired the token stays
@@ -92,6 +110,9 @@ class CancelToken {
   mutable std::atomic<std::uint8_t> reason_{0};
   std::atomic<bool> has_deadline_{false};
   std::atomic<std::int64_t> deadline_ns_{0};  ///< steady_clock epoch ns
+  /// Upstream token whose cancellation cascades into this one (see
+  /// link_parent); nullptr when unlinked.
+  std::atomic<const CancelToken*> parent_{nullptr};
 };
 
 /// RAII per-run deadline on a (possibly shared) token.  Arms the budget on

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -239,9 +240,15 @@ Status save_checkpoint(const std::string& path,
   }
 
   // --- atomic write: temp + fsync + rename + fsync(dir) ------------------
+  // The staging name is unique per WRITE, not just per process: concurrent
+  // batch jobs checkpointing into one directory (or even one path) must
+  // never interleave bytes in a shared temp file, so a process-wide
+  // sequence number joins the pid in the suffix.
+  static std::atomic<std::uint64_t> write_seq{0};
   char msg[512];
   const std::string tmp =
-      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(write_seq.fetch_add(1, std::memory_order_relaxed));
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     std::snprintf(msg, sizeof msg,

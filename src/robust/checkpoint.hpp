@@ -21,7 +21,9 @@
 // own CRC32 and the reader validates all of them eagerly — a single flipped
 // byte anywhere is detected and reported with the offending section.
 //
-// Writes are atomic: serialize to `<path>.tmp.<pid>`, fsync the file, rename
+// Writes are atomic: serialize to `<path>.tmp.<pid>.<seq>` (the sequence
+// number makes the staging name unique per write, so concurrent batch jobs
+// checkpointing into one directory never collide), fsync the file, rename
 // over the target, fsync the directory.  A crash mid-write leaves either the
 // previous checkpoint or a stray .tmp — never a torn file at `path`.
 #pragma once

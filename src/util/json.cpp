@@ -1,0 +1,278 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace mako::json {
+
+// Named (not anonymous-namespace) so the `friend class Parser` declaration
+// in json.hpp refers to this class.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value document() {
+    skip_ws();
+    Value v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    int line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw ParseError("json: " + what, line, col);
+  }
+
+  [[nodiscard]] char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        fail(std::string("invalid literal (expected '") + word + "')");
+      }
+      ++pos_;
+    }
+  }
+
+  Value value() {
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"': {
+        Value v;
+        v.kind_ = Value::Kind::kString;
+        v.string_ = string();
+        return v;
+      }
+      case 't': {
+        literal("true");
+        Value v;
+        v.kind_ = Value::Kind::kBool;
+        v.bool_ = true;
+        return v;
+      }
+      case 'f': {
+        literal("false");
+        Value v;
+        v.kind_ = Value::Kind::kBool;
+        v.bool_ = false;
+        return v;
+      }
+      case 'n': {
+        literal("null");
+        return Value{};
+      }
+      default:
+        return number();
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("invalid value");
+    const std::string tok = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double parsed = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      fail("malformed number '" + tok + "'");
+    }
+    Value v;
+    v.kind_ = Value::Kind::kNumber;
+    v.number_ = parsed;
+    return v;
+  }
+
+  std::string string() {
+    if (take() != '"') fail("expected string");
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              --pos_;
+              fail("invalid \\u escape");
+            }
+          }
+          // ASCII passthrough; anything wider becomes '?' (manifests are
+          // paths and option names, not prose).
+          out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          --pos_;
+          fail("unknown escape sequence");
+      }
+    }
+  }
+
+  Value array() {
+    take();  // '['
+    Value v;
+    v.kind_ = Value::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      v.items_.push_back(value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') return v;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  Value object() {
+    take();  // '{'
+    Value v;
+    v.kind_ = Value::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      if (take() != ':') {
+        --pos_;
+        fail("expected ':' after object key");
+      }
+      skip_ws();
+      v.members_.emplace_back(std::move(key), value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') return v;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+Value Value::parse(const std::string& text) {
+  return Parser(text).document();
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Value::number_or(const std::string& key, double fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+int Value::int_or(const std::string& key, int fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_int() : fallback;
+}
+
+bool Value::bool_or(const std::string& key, bool fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_bool() ? v->as_bool() : fallback;
+}
+
+std::string Value::string_or(const std::string& key,
+                             const std::string& fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : fallback;
+}
+
+}  // namespace mako::json

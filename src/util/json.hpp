@@ -1,0 +1,106 @@
+// Minimal JSON document parser (RFC 8259 subset, UTF-8 passthrough).
+//
+// Batch manifests (`mako --batch manifest.json`) are user-authored files, so
+// they need real parse errors with line/column positions — not a hand-rolled
+// scanf.  This is a small recursive-descent DOM parser: objects preserve key
+// order, numbers are doubles, and \uXXXX escapes outside the BMP basic range
+// are passed through as '?' (manifests are ASCII paths and option names).
+// It is a reader only; the emit side of the codebase (bench records, metrics
+// JSON) stays with the existing printf-style writers.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mako::json {
+
+/// Parse failure with 1-based line/column of the offending byte.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, int line, int column)
+      : std::runtime_error(what), line_(line), column_(column) {}
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// One JSON value.  A plain tagged struct — the manifest reader walks it
+/// directly; no schema layer.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one JSON document (leading/trailing whitespace allowed; trailing
+  /// garbage is an error).  Throws ParseError.
+  [[nodiscard]] static Value parse(const std::string& text);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return kind_ == Kind::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  [[nodiscard]] bool as_bool() const { return expect(Kind::kBool), bool_; }
+  [[nodiscard]] double as_number() const {
+    return expect(Kind::kNumber), number_;
+  }
+  [[nodiscard]] int as_int() const {
+    return static_cast<int>(as_number());
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    return expect(Kind::kString), string_;
+  }
+  [[nodiscard]] const std::vector<Value>& items() const {
+    return expect(Kind::kArray), items_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members()
+      const {
+    return expect(Kind::kObject), members_;
+  }
+
+  /// Object member by key; nullptr when absent (or not an object).
+  [[nodiscard]] const Value* find(const std::string& key) const;
+
+  // --- defaulted lookups for flat config objects --------------------------
+  [[nodiscard]] double number_or(const std::string& key, double fallback)
+      const;
+  [[nodiscard]] int int_or(const std::string& key, int fallback) const;
+  [[nodiscard]] bool bool_or(const std::string& key, bool fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      const std::string& fallback) const;
+
+ private:
+  friend class Parser;
+
+  void expect(Kind kind) const {
+    if (kind_ != kind) {
+      throw std::runtime_error("json: value is not of the requested type");
+    }
+  }
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+}  // namespace mako::json

@@ -1,6 +1,9 @@
 // Architecture-tuned compilation (Algorithm 2) tests.
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "compilermako/autotuner.hpp"
 #include "integrals/eri_reference.hpp"
 
@@ -91,6 +94,42 @@ TEST(AutotunerTest, LoadIgnoresGarbageLines) {
   Autotuner tuner;
   tuner.load_cache("not a valid line\n\n1 2 3\n");
   EXPECT_EQ(tuner.cache_size(), 0u);
+}
+
+// Regression for the batch-exposed race: the tuner cache is shared by every
+// concurrent batch job, and tune()/lookup()/serialize_cache() used to touch
+// the map unlocked.  N threads hammer one shared key plus a small overlapping
+// key set while readers interleave; under TSan this is the race detector,
+// under a plain build it pins down first-insert-wins and reference stability.
+TEST(AutotunerTest, ConcurrentTuneAndLookupAreCoherent) {
+  Autotuner tuner(DeviceSpec::a100(), tiny_options());
+  const EriClassKey shared_key{1, 0, 1, 0, 1, 1};
+  constexpr int kThreads = 8;
+
+  std::vector<const TunedKernel*> winners(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tuner, &winners, &shared_key, t] {
+      const TunedKernel& shared = tuner.tune(shared_key, Precision::kFP64);
+      winners[static_cast<std::size_t>(t)] = &shared;
+      const EriClassKey own{0, 0, t % 3, 0, 1, 1};  // 3-way contended keys
+      tuner.tune(own, Precision::kFP16);
+      (void)tuner.lookup(shared_key, Precision::kFP64);
+      (void)tuner.serialize_cache();
+      (void)tuner.cache_size();
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // Racing tuners of one key agree on a single cached entry, and the
+  // returned references stay valid (the batch keeps them across jobs).
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(winners[0], winners[static_cast<std::size_t>(t)]);
+  }
+  EXPECT_EQ(winners[0]->config.gemm.precision, Precision::kFP64);
+  EXPECT_EQ(tuner.cache_size(), 1u + 3u);  // shared fp64 + three fp16 keys
+  ASSERT_TRUE(tuner.lookup(shared_key, Precision::kFP64).has_value());
 }
 
 TEST(CalibrationBatchTest, RespectsClassKey) {

@@ -261,6 +261,104 @@ TEST(WatchdogTest, HealthyPoolTrafficDoesNotTrip) {
   }
 }
 
+// --- parent-linked tokens (the batch isolation chain) ---------------------
+
+TEST(CancelTokenTest, ParentCancellationCascadesToChildren) {
+  CancelToken batch;
+  CancelToken job_a, job_b;
+  job_a.link_parent(&batch);
+  job_b.link_parent(&batch);
+
+  batch.request(CancelReason::kSignal);
+  EXPECT_TRUE(job_a.cancelled());
+  EXPECT_TRUE(job_b.cancelled());
+  EXPECT_EQ(job_a.reason(), CancelReason::kSignal);
+  batch.clear();
+}
+
+TEST(CancelTokenTest, ChildDeadlineDoesNotLeakToSiblings) {
+  // The property the per-job --max-seconds contract rests on: one job's
+  // expired budget cancels that job only; the batch and its siblings run on.
+  CancelToken batch;
+  CancelToken job_a, job_b;
+  job_a.link_parent(&batch);
+  job_b.link_parent(&batch);
+
+  job_a.set_deadline(1e-9);
+  sleep_ms(5);
+  EXPECT_TRUE(job_a.cancelled());
+  EXPECT_EQ(job_a.reason(), CancelReason::kDeadline);
+  EXPECT_FALSE(batch.cancelled());
+  EXPECT_FALSE(job_b.cancelled());
+}
+
+TEST(CancelTokenTest, CancellationFlowsThroughTransitiveChain) {
+  // job -> batch -> process: the CLI's SIGTERM lands on the root and must be
+  // observable at the leaf through two hops.
+  CancelToken root, mid, leaf;
+  mid.link_parent(&root);
+  leaf.link_parent(&mid);
+
+  EXPECT_FALSE(leaf.cancelled());
+  root.request(CancelReason::kUser);
+  EXPECT_TRUE(mid.cancelled());
+  EXPECT_TRUE(leaf.cancelled());
+  EXPECT_EQ(leaf.reason(), CancelReason::kUser);
+
+  // A polled cascade latches locally: health classification still reads the
+  // true cause after the root token is cleared for reuse.
+  root.clear();
+  EXPECT_TRUE(leaf.cancelled());
+  EXPECT_EQ(leaf.reason(), CancelReason::kUser);
+
+  // An unlinked token never sees later root requests.
+  CancelToken detached;
+  detached.link_parent(&root);
+  detached.link_parent(nullptr);
+  root.request(CancelReason::kUser);
+  EXPECT_FALSE(detached.cancelled());
+  root.clear();
+}
+
+// --- inline parallel_for heartbeats (batch-exposed watchdog blind spot) ---
+
+TEST(WatchdogTest, InlineSingleElementLoopStampsHeartbeat) {
+  // Regression: count==1 short-circuits parallel_for to an inline call,
+  // which used to skip the heartbeat — a batch job inside a long sequence
+  // of tiny loops looked wedged to the watchdog.
+  Watchdog& wd = Watchdog::instance();
+  const std::uint64_t beats_before = wd.beats();
+  parallel_for(1, [](std::size_t) {});
+  EXPECT_GE(wd.beats(), beats_before + 1);
+}
+
+TEST(WatchdogTest, NestedInlineLoopStampsHeartbeat) {
+  // Same blind spot, second path: a parallel_for issued from inside a worker
+  // of the same pool runs inline (the re-queue deadlock fix) and must still
+  // stamp beats.  Only meaningful when the loop actually lands on workers.
+  if (ThreadPool::global().size() < 2) GTEST_SKIP() << "no pooled workers";
+  Watchdog& wd = Watchdog::instance();
+  const std::uint64_t beats_before = wd.beats();
+  std::atomic<std::uint64_t> nested_on_worker{0};
+  // The caller drains chunks cooperatively and may win them all on a loaded
+  // host; retry until a worker actually executes one.
+  for (int attempt = 0; attempt < 5 && nested_on_worker.load() == 0;
+       ++attempt) {
+    parallel_for(256, [&nested_on_worker](std::size_t) {
+      if (ThreadPool::current() != nullptr) {
+        nested_on_worker.fetch_add(1, std::memory_order_relaxed);
+        parallel_for(4, [](std::size_t) {});  // nested: runs inline
+      }
+    });
+  }
+  if (nested_on_worker.load() == 0) {
+    GTEST_SKIP() << "caller drained every chunk; nested path not exercised";
+  }
+  // Each nested inline call must stamp at least one beat on top of whatever
+  // the outer chunks stamped — a strict lower bound robust to chunking.
+  EXPECT_GE(wd.beats(), beats_before + nested_on_worker.load());
+}
+
 TEST(WatchdogTest, ScopedWatchdogIsANoOpWhenDisabled) {
   Watchdog& wd = Watchdog::instance();
   {

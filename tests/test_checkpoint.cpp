@@ -5,11 +5,13 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "basis/basis_set.hpp"
@@ -402,6 +404,51 @@ TEST_F(CheckpointTest, ScfRejectsCorruptedCheckpoint) {
   } catch (const InputError& e) {
     EXPECT_EQ(e.kind(), FaultKind::kCheckpointCorrupt);
   }
+}
+
+// Regression for the batch-exposed staging collision: writers used to stage
+// into a shared `<path>.tmp.<pid>` name, so two same-process threads saving
+// concurrently could rename each other's half-written file into place.
+// Staging names are now unique per writer; every save must succeed and the
+// surviving file must always be one complete, CRC-valid checkpoint.
+TEST_F(CheckpointTest, ConcurrentWritersToOnePathNeverCorruptIt) {
+  const std::string path = track("collision");
+  constexpr int kWriters = 8;
+  constexpr int kRounds = 25;
+
+  std::vector<ScfCheckpointState> states(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    states[w].fingerprint = 0xc0ffee;
+    states[w].next_iteration = w + 1;
+    states[w].last_energy = -76.0 - w;
+    states[w].density = filled(6, 6, 1.0 + w);
+    states[w].fock = filled(6, 6, -1.0 - w);
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int r = 0; r < kRounds; ++r) {
+        if (!save_checkpoint(path, states[w]).is_ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // Whichever writer won the last rename, the file is a complete state of
+  // one of them — load_checkpoint throws on any torn/corrupt image.
+  const ScfCheckpointState r = load_checkpoint(path, 0xc0ffee);
+  ASSERT_GE(r.next_iteration, 1);
+  ASSERT_LE(r.next_iteration, kWriters);
+  const ScfCheckpointState& expect = states[r.next_iteration - 1];
+  EXPECT_EQ(r.last_energy, expect.last_energy);
+  expect_bitwise_equal(r.density, expect.density);
+  expect_bitwise_equal(r.fock, expect.fock);
 }
 
 }  // namespace

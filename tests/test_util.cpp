@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "chem/molecule.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -113,6 +114,61 @@ TEST(XyzFileTest, WriteReadRoundTrip) {
   EXPECT_EQ(back.atoms()[0].z, 8);
   EXPECT_NEAR(back.atoms()[1].position[0], 1.9, 1e-6);
   std::remove(path.c_str());
+}
+
+// --- minimal JSON parser (util/json.hpp, feeds the batch manifest) --------
+
+TEST(JsonTest, ParsesEveryValueKind) {
+  const json::Value v = json::Value::parse(
+      "{\"s\": \"a\\\\b\\\"c\\n\", \"n\": -1.5e2, \"i\": 42, \"t\": true,\n"
+      " \"f\": false, \"z\": null, \"arr\": [1, [2], {}],\n"
+      " \"obj\": {\"nested\": \"yes\"}}");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("s")->as_string(), "a\\b\"c\n");
+  EXPECT_EQ(v.find("n")->as_number(), -150.0);
+  EXPECT_EQ(v.find("i")->as_int(), 42);
+  EXPECT_TRUE(v.find("t")->as_bool());
+  EXPECT_FALSE(v.find("f")->as_bool());
+  EXPECT_TRUE(v.find("z")->is_null());
+  ASSERT_EQ(v.find("arr")->items().size(), 3u);
+  EXPECT_EQ(v.find("arr")->items()[1].items()[0].as_int(), 2);
+  EXPECT_EQ(v.find("obj")->string_or("nested", ""), "yes");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonTest, MembersPreserveManifestOrder) {
+  const json::Value v = json::Value::parse("{\"b\": 1, \"a\": 2, \"c\": 3}");
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "b");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.members()[2].first, "c");
+}
+
+TEST(JsonTest, FallbackAccessorsTolerateAbsentKeys) {
+  const json::Value v = json::Value::parse("{\"x\": 2}");
+  EXPECT_EQ(v.number_or("x", -1.0), 2.0);
+  EXPECT_EQ(v.number_or("y", -1.0), -1.0);
+  EXPECT_EQ(v.int_or("y", 7), 7);
+  EXPECT_TRUE(v.bool_or("y", true));
+  EXPECT_EQ(v.string_or("y", "d"), "d");
+}
+
+TEST(JsonTest, ReportsLineAndColumnOnError) {
+  try {
+    (void)json::Value::parse("{\n  \"a\": 1,\n  oops\n}");
+    FAIL() << "parse accepted malformed input";
+  } catch (const json::ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_GT(e.column(), 0);
+  }
+}
+
+TEST(JsonTest, RejectsTrailingGarbageAndBareEof) {
+  EXPECT_THROW((void)json::Value::parse("{} extra"), json::ParseError);
+  EXPECT_THROW((void)json::Value::parse("[1, 2"), json::ParseError);
+  EXPECT_THROW((void)json::Value::parse(""), json::ParseError);
+  EXPECT_THROW((void)json::Value::parse("{\"a\" 1}"), json::ParseError);
+  EXPECT_THROW((void)json::Value::parse("[1,]"), json::ParseError);
 }
 
 }  // namespace
