@@ -20,6 +20,11 @@
 //   --backend <name>      GEMM backend: reference | blocked |
 //                         blocked+quantized (or any registered name;
 //                         default: $MAKO_BACKEND, else blocked+quantized)
+//   --ranks <n>           modeled rank count for rank-sharded SCF; power of
+//                         two in [1, 16] (default: $MAKO_RANKS, else 1).
+//                         Energies are bit-identical for every rank count.
+//   --cluster <name>      comm cost-model topology: default | single-node |
+//                         ethernet                          [default]
 //   --quantize            enable QuantMako scheduling
 //   --autotune            enable CompilerMako kernel tuning
 //   --iterations <n>      fixed SCF iteration count (benchmark mode)
@@ -79,7 +84,7 @@ void print_usage() {
       "usage: mako --mol <file.xyz> [--basis NAME] [--xc NAME]\n"
       "       mako --batch <manifest.json> [--jobs K] [--batch-out PATH]\n"
       "            [--engine mako|reference] [--backend NAME] [--quantize]\n"
-      "            [--autotune]\n"
+      "            [--autotune] [--ranks N] [--cluster NAME]\n"
       "            [--iterations N] [--max-iterations N] [--convergence EPS]\n"
       "            [--grid coarse|standard|fine] [--charge Q] [--verbose]\n"
       "            [--trace-out PATH] [--trace-all] [--metrics-json PATH]\n"
@@ -149,6 +154,14 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--backend") {
       options.backend = next("--backend");
+    } else if (arg == "--ranks") {
+      options.ranks = std::atoi(next("--ranks").c_str());
+      if (options.ranks < 1) {
+        std::fprintf(stderr, "mako: --ranks must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--cluster") {
+      options.cluster = next("--cluster");
     } else if (arg == "--quantize") {
       options.quantization = true;
     } else if (arg == "--autotune") {
@@ -220,6 +233,8 @@ int main(int argc, char** argv) {
       mako::BatchOptions batch_options;
       batch_options.concurrency = batch_jobs;
       batch_options.backend = options.backend;
+      batch_options.ranks = options.ranks;
+      batch_options.cluster = options.cluster;
       batch_options.device = options.device;
       std::printf("Mako — batch mode: %zu jobs from %s, %d in flight\n",
                   jobs.size(), batch_path.c_str(), batch_jobs);

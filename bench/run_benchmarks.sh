@@ -2,8 +2,9 @@
 # Runs the paper-figure benchmarks and records their results as JSON.
 #
 #   BUILD_DIR  build tree containing the bench binaries   (default: build)
-#   OUT_DIR    where BENCH_fig6.json / BENCH_fig8.json go (default: bench)
+#   OUT_DIR    where BENCH_fig6/fig8/fig10/batch JSON goes (default: bench)
 #   FIG8_SIZE  system-size sweep argument for fig8        (default: 2)
+#   FIG10_SIZE system-size sweep argument for fig10       (default: 1)
 #
 # Usage: run_benchmarks.sh [--backend NAME | --backend=NAME]
 #   --backend selects the GEMM backend: fig6 gets --backend=NAME directly,
@@ -24,6 +25,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT_DIR="${OUT_DIR:-bench}"
 FIG8_SIZE="${FIG8_SIZE:-2}"
+FIG10_SIZE="${FIG10_SIZE:-1}"
 
 BACKEND=""
 while [ $# -gt 0 ]; do
@@ -38,7 +40,7 @@ if [ ! -d "${BUILD_DIR}" ]; then
   cmake -B "${BUILD_DIR}" -S .
 fi
 cmake --build "${BUILD_DIR}" -j --target bench_fig6_eri_micro \
-  bench_fig8_end2end bench_batch_throughput
+  bench_fig8_end2end bench_fig10_scaling bench_batch_throughput
 
 mkdir -p "${OUT_DIR}"
 
@@ -59,10 +61,15 @@ echo "== Figure 8: end-to-end SCF iteration time =="
   "--json=${OUT_DIR}/BENCH_fig8.json"
 
 echo
+echo "== Figure 10: rank-sharded scaling efficiency =="
+"${BUILD_DIR}/bench/bench_fig10_scaling" "--size=${FIG10_SIZE}" \
+  "--json=${OUT_DIR}/BENCH_fig10.json"
+
+echo
 echo "== Batch: multi-molecule throughput =="
 "${BUILD_DIR}/bench/bench_batch_throughput" \
   "--json=${OUT_DIR}/BENCH_batch.json"
 
 echo
-echo "wrote ${OUT_DIR}/BENCH_fig6.json, ${OUT_DIR}/BENCH_fig8.json and" \
-  "${OUT_DIR}/BENCH_batch.json"
+echo "wrote ${OUT_DIR}/BENCH_fig6.json, ${OUT_DIR}/BENCH_fig8.json," \
+  "${OUT_DIR}/BENCH_fig10.json and ${OUT_DIR}/BENCH_batch.json"

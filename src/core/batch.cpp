@@ -229,7 +229,9 @@ BatchScheduler::BatchScheduler(BatchOptions options)
     : options_(std::move(options)),
       context_(ExecutionContextOptions{.backend = options_.backend,
                                        .device = options_.device,
-                                       .make_active = options_.make_active}),
+                                       .make_active = options_.make_active,
+                                       .ranks = options_.ranks,
+                                       .cluster = options_.cluster}),
       tuner_(options_.device, options_.tuner, &context_.backend()) {}
 
 std::shared_ptr<const BasisSet> BatchScheduler::pooled_basis(

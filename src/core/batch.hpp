@@ -90,6 +90,12 @@ struct BatchOptions {
   int concurrency = 2;
   /// GEMM backend for the whole batch; "" resolves MAKO_BACKEND/default.
   std::string backend;
+  /// Rank count for the batch's shared Communicator (0 resolves $MAKO_RANKS,
+  /// then 1) and the named cluster topology for its cost model.  Every job
+  /// view shares the one communicator, so a batch reduces over a single
+  /// consistent rank topology.
+  int ranks = 0;
+  std::string cluster;
   DeviceSpec device = DeviceSpec::a100();
   TunerOptions tuner{};
   /// Parent cancel token; nullptr links under CancelToken::process() so the

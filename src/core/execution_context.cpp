@@ -17,7 +17,9 @@ ExecutionContext::ExecutionContext(ExecutionContextOptions options)
       faults_(&FaultInjector::instance()),
       metrics_(&obs::MetricsRegistry::global()),
       tracer_(&obs::Tracer::instance()),
-      components_(std::make_shared<ComponentCache>()) {
+      components_(std::make_shared<ComponentCache>()),
+      comm_(make_communicator(
+          CommSpec{options.ranks, std::move(options.cluster), {}})) {
   if (options.make_active) {
     GemmBackendRegistry::instance().set_active(*backend_);
   }
@@ -41,7 +43,8 @@ ExecutionContext::ExecutionContext(const ExecutionContext& parent,
       faults_(parent.faults_),
       metrics_(parent.metrics_),
       tracer_(parent.tracer_),
-      components_(parent.components_) {}
+      components_(parent.components_),
+      comm_(parent.comm_) {}
 
 const ExecutionContext& ExecutionContext::process() {
   // Leaky singleton; make_active=false so a bare run_scf never steals the

@@ -23,6 +23,8 @@
 //                          ├─ faults    -> FaultInjector      (process-wide)
 //                          ├─ metrics   -> obs::MetricsRegistry (process-wide)
 //                          ├─ tracer    -> obs::Tracer        (process-wide)
+//                          ├─ comm      -> Communicator       (owned; "local"
+//                          │                or "simcomm" per options.ranks)
 //                          └─ components-> ComponentCache     (by value; lazy
 //                                           anchor for higher-layer caches)
 //
@@ -42,6 +44,7 @@
 #include "linalg/backend.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/communicator.hpp"
 #include "parallel/simcomm.hpp"
 #include "parallel/thread_pool.hpp"
 #include "quantmako/scheduler.hpp"
@@ -75,6 +78,13 @@ struct ExecutionContextOptions {
   /// ambient matmul()/gemm() wrappers (eigen, DIIS extrapolation) route
   /// through it too.  Tests that juggle several contexts can opt out.
   bool make_active = true;
+  /// Rank count for the owned Communicator; 0 resolves $MAKO_RANKS, then 1
+  /// (MakoOptions::ranks / mako --ranks).  Must be a power of two in
+  /// [1, kMaxCommRanks] after resolution; anything else throws InputError.
+  int ranks = 0;
+  /// Named cluster topology for the comm cost model (mako --cluster); ""
+  /// means "default".  Unknown names throw InputError.
+  std::string cluster;
 };
 
 /// Type-keyed cache of lazily constructed per-context components.
@@ -175,6 +185,12 @@ class ExecutionContext {
     return *components_;
   }
 
+  /// The rank communicator of this run, owned by the context exactly like
+  /// the GEMM backend: "local" for one rank, "simcomm" for 2..kMaxCommRanks
+  /// in-process ranks.  Job views share their parent's communicator, so a
+  /// batch's jobs reduce over one consistent rank topology.
+  [[nodiscard]] Communicator& comm() const noexcept { return *comm_; }
+
   /// Simulated communicator over `size` ranks, wired to this context's
   /// fault hooks (SimComm reads the process registry internally today; the
   /// factory is the seam where a per-context injector would plug in).
@@ -194,6 +210,8 @@ class ExecutionContext {
   obs::Tracer* tracer_;
   /// Shared with job views derived from this context; never null.
   std::shared_ptr<ComponentCache> components_;
+  /// Shared with job views (one rank topology per batch); never null.
+  std::shared_ptr<Communicator> comm_;
 };
 
 }  // namespace mako

@@ -20,6 +20,9 @@ std::string MakoReport::summary() const {
   if (!backend.empty()) {
     out << "GEMM backend:           " << backend << "\n";
   }
+  if (ranks > 1) {
+    out << "ranks:                  " << ranks << " (simcomm)\n";
+  }
   out << "SCF iterations:         " << scf.iterations
       << (scf.converged ? " (converged)" : " (NOT converged)");
   if (scf.resumed_from > 0) {
@@ -37,6 +40,12 @@ std::string MakoReport::summary() const {
   out << "total wall-clock time:  " << total_seconds << " s\n";
   out << "avg SCF iteration time: " << scf.avg_iteration_seconds()
       << " s (excluding first iteration)\n";
+  if (ranks > 1) {
+    out.precision(6);
+    out << "modeled comm time:      " << scf.comm_seconds << " s ("
+        << scf.comm_bytes << " bytes, " << scf.comm_retries << " retries)\n";
+    out.precision(4);
+  }
   if (classes_tuned > 0) {
     out << "ERI classes tuned:      " << classes_tuned << "\n";
   }
@@ -48,7 +57,9 @@ MakoEngine::MakoEngine(MakoOptions options)
       context_(ExecutionContextOptions{
           .backend = options_.backend,
           .device = options_.device,
-          .enable_quantization = options_.quantization}),
+          .enable_quantization = options_.quantization,
+          .ranks = options_.ranks,
+          .cluster = options_.cluster}),
       tuner_(options_.device, options_.tuner, &context_.backend()) {}
 
 ScfOptions scf_options_from(const MakoOptions& options) {
@@ -88,6 +99,7 @@ MakoReport MakoEngine::compute_energy(const Molecule& mol) {
   Timer total;
   MakoReport report;
   report.backend = context_.backend().name();
+  report.ranks = context_.comm().size();
 
   if (options_.autotune) {
     report.classes_tuned = tune_for(mol);

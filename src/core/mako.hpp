@@ -30,6 +30,14 @@ struct MakoOptions {
   /// GEMM backend name ("reference", "blocked", "blocked+quantized");
   /// "" resolves MAKO_BACKEND, then the built-in default.
   std::string backend;
+  /// Rank count for the execution context's Communicator (mako --ranks);
+  /// 0 resolves $MAKO_RANKS, then 1.  Must be a power of two in
+  /// [1, kMaxCommRanks]; results are bit-identical for every supported rank
+  /// count (see communicator.hpp).
+  int ranks = 0;
+  /// Named cluster topology for the comm cost model (mako --cluster):
+  /// "default", "single-node", "ethernet"; "" means "default".
+  std::string cluster;
   bool quantization = false;       ///< QuantMako scheduling
   bool autotune = false;           ///< CompilerMako per-class tuning
   GridSpec grid = GridSpec::coarse();
@@ -61,6 +69,7 @@ struct MakoReport {
   std::size_t num_shells = 0;
   int classes_tuned = 0;
   std::string backend;  ///< GEMM backend the run executed on
+  int ranks = 1;        ///< communicator size the run executed with
 
   /// Artifact-style text report (energies + the two timing metrics).
   [[nodiscard]] std::string summary() const;

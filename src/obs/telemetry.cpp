@@ -8,18 +8,20 @@ std::string telemetry_table(const std::vector<IterationTelemetry>& records) {
   std::string out;
   out +=
       "iter  policy  fp64_thresh        fp64       quant      pruned  "
-      "rung retry    route(s)      eri(s)   digest(s)        error\n";
-  char line[288];
+      "rung retry    route(s)      eri(s)   digest(s)     comm(s)"
+      "        error\n";
+  char line[320];
   for (const IterationTelemetry& r : records) {
     std::snprintf(
         line, sizeof line,
         "%4d  %-6s  %11.3e %11lld %11lld %11lld  %4d %5d %11.5f %11.5f "
-        "%11.5f %12.3e\n",
+        "%11.5f %11.3e %12.3e\n",
         r.iteration, r.quantized_allowed ? r.precision : "fp64",
         r.fp64_threshold, static_cast<long long>(r.quartets_fp64),
         static_cast<long long>(r.quartets_quantized),
         static_cast<long long>(r.quartets_pruned), r.ladder_rung, r.retries,
-        r.route_seconds, r.eri_seconds, r.digest_seconds, r.error);
+        r.route_seconds, r.eri_seconds, r.digest_seconds, r.comm_allreduce_s,
+        r.error);
     out += line;
   }
   return out;
@@ -40,7 +42,8 @@ std::string telemetry_json(const std::vector<IterationTelemetry>& records) {
         "\"eri_seconds\": %.6f, \"digest_seconds\": %.6f, "
         "\"route_seconds\": %.6f, "
         "\"ladder_rung\": %d, \"retries\": %d, \"domain_faults\": %lld, "
-        "\"comm_retries\": %lld}",
+        "\"comm_retries\": %lld, \"comm_allreduce_s\": %.6e, "
+        "\"comm_bytes\": %llu}",
         i == 0 ? "" : ",", r.iteration, r.energy, r.error, r.seconds,
         r.precision, r.quantized_allowed ? "true" : "false", r.fp64_threshold,
         r.prune_threshold, static_cast<long long>(r.quartets_fp64),
@@ -48,7 +51,8 @@ std::string telemetry_json(const std::vector<IterationTelemetry>& records) {
         static_cast<long long>(r.quartets_pruned), r.eri_seconds,
         r.digest_seconds, r.route_seconds, r.ladder_rung, r.retries,
         static_cast<long long>(r.domain_faults),
-        static_cast<long long>(r.comm_retries));
+        static_cast<long long>(r.comm_retries),
+        r.comm_allreduce_s, static_cast<unsigned long long>(r.comm_bytes));
     out += line;
   }
   out += records.empty() ? "]" : "\n]";

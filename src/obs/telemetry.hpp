@@ -46,9 +46,14 @@ struct IterationTelemetry {
   int ladder_rung = 0;  ///< highest recovery rung reached so far
   int retries = 0;      ///< in-iteration hard-fault rebuilds
   std::int64_t domain_faults = 0;
-  /// Collective resends this iteration; 0 in single-rank runs (multi-rank
-  /// drivers fold SimComm::retries() deltas in here).
+  /// Collective resends this iteration; 0 in single-rank runs (the SCF
+  /// driver folds the Fock build's Communicator retry deltas in here).
   std::int64_t comm_retries = 0;
+  /// Modeled collective time of this iteration's partial-J/K allreduces
+  /// (zero on one rank).
+  double comm_allreduce_s = 0.0;
+  /// Logical payload bytes this iteration's collectives moved.
+  std::uint64_t comm_bytes = 0;
 };
 
 /// Human-readable per-iteration table (CLI --telemetry output).

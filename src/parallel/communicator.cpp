@@ -1,0 +1,210 @@
+#include "parallel/communicator.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace mako {
+namespace {
+
+bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+[[noreturn]] void throw_bad_ranks(int ranks, const char* source) {
+  char msg[256];
+  std::snprintf(msg, sizeof msg,
+                "%s: rank count %d is unsupported; the owner-computes "
+                "partition uses %d fixed slices, so ranks must be a power of "
+                "two in [1, %d] (1, 2, 4, 8, 16)",
+                source, ranks, kMaxCommRanks, kMaxCommRanks);
+  throw InputError(FaultKind::kInvalidInput, msg);
+}
+
+/// Rank 0 of 1: every collective is the identity and costs nothing.  This is
+/// the default every pre-existing single-rank path resolves to.
+class LocalComm final : public Communicator {
+ public:
+  LocalComm() : Communicator("local", 1) {}
+
+ protected:
+  double do_allreduce(std::vector<MatrixD>& rank_partials, Status& status,
+                      CommStats& delta) override {
+    (void)rank_partials;
+    (void)delta;
+    status = Status::ok();
+    return 0.0;
+  }
+  double do_broadcast(MatrixD& payload, int root, Status& status,
+                      CommStats& delta) override {
+    (void)payload;
+    (void)root;
+    (void)delta;
+    status = Status::ok();
+    return 0.0;
+  }
+  double do_barrier(Status& status, CommStats& delta) override {
+    (void)delta;
+    status = Status::ok();
+    return 0.0;
+  }
+};
+
+/// SimComm-backed ranks: in-process buffers, checksum-verified delivery with
+/// retry/backoff, and the calibrated cluster cost model.
+class SimCommBackend final : public Communicator {
+ public:
+  SimCommBackend(int size, ClusterModel cluster, CommRetryPolicy retry)
+      : Communicator("simcomm", size), sim_(size, cluster, retry) {}
+
+ protected:
+  double do_allreduce(std::vector<MatrixD>& rank_partials, Status& status,
+                      CommStats& delta) override {
+    const std::uint64_t r0 = sim_.retries(), d0 = sim_.dropped();
+    const double t = sim_.allreduce_sum(rank_partials);
+    status = sim_.last_status();
+    delta.retries = sim_.retries() - r0;
+    delta.dropped = sim_.dropped() - d0;
+    delta.bytes =
+        rank_partials.empty()
+            ? 0
+            : static_cast<std::uint64_t>(rank_partials[0].size()) *
+                  sizeof(double);
+    return t;
+  }
+
+  double do_broadcast(MatrixD& payload, int root, Status& status,
+                      CommStats& delta) override {
+    // Materialize the per-rank buffer view SimComm expects.  On success all
+    // buffers equal the root payload, so the canonical buffer is unchanged;
+    // on an exhausted retry budget SimComm leaves non-root buffers untouched
+    // and the status carries kCommCorruption.
+    buffers_.resize(static_cast<std::size_t>(size()));
+    buffers_[static_cast<std::size_t>(root)] = payload;
+    const std::uint64_t r0 = sim_.retries(), d0 = sim_.dropped();
+    const double t = sim_.broadcast(buffers_, root);
+    status = sim_.last_status();
+    delta.retries = sim_.retries() - r0;
+    delta.dropped = sim_.dropped() - d0;
+    delta.bytes = static_cast<std::uint64_t>(payload.size()) * sizeof(double);
+    return t;
+  }
+
+  double do_barrier(Status& status, CommStats& delta) override {
+    (void)delta;
+    status = Status::ok();
+    // An empty allreduce: two tree sweeps of latency-only hops.
+    return sim_.cluster().allreduce_seconds(size(), sizeof(double));
+  }
+
+ private:
+  SimComm sim_;
+  std::vector<MatrixD> buffers_;  ///< broadcast staging, reused across calls
+};
+
+}  // namespace
+
+int resolve_ranks(int requested) {
+  int ranks = requested;
+  const char* source = "Communicator";
+  if (ranks == 0) {
+    const char* env = std::getenv("MAKO_RANKS");
+    if (env == nullptr || *env == '\0') return 1;
+    source = "Communicator: $MAKO_RANKS";
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0') {
+      char msg[192];
+      std::snprintf(msg, sizeof msg,
+                    "Communicator: $MAKO_RANKS='%s' is not an integer; "
+                    "expected a power of two in [1, %d]",
+                    env, kMaxCommRanks);
+      throw InputError(FaultKind::kInvalidInput, msg);
+    }
+    ranks = static_cast<int>(parsed);
+  }
+  if (!is_pow2(ranks) || ranks > kMaxCommRanks) {
+    throw_bad_ranks(ranks, source);
+  }
+  return ranks;
+}
+
+ClusterModel cluster_model_from_name(const std::string& name) {
+  if (name.empty() || name == "default") return ClusterModel{};
+  if (name == "single-node") {
+    ClusterModel cluster;
+    cluster.devices_per_node = kMaxCommRanks;  // every rank stays on NVLink
+    return cluster;
+  }
+  if (name == "ethernet") {
+    ClusterModel cluster;
+    cluster.internode = LinkModel{50e-6, 1.25e9};  // 10 GbE
+    return cluster;
+  }
+  char msg[192];
+  std::snprintf(msg, sizeof msg,
+                "Communicator: unknown cluster '%s'; valid names: default, "
+                "single-node, ethernet",
+                name.c_str());
+  throw InputError(FaultKind::kInvalidInput, msg);
+}
+
+Communicator::Communicator(std::string name, int size)
+    : name_(std::move(name)), size_(size) {}
+
+double Communicator::allreduce_sum(std::vector<MatrixD>& rank_partials) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CommStats delta;
+  const double t = do_allreduce(rank_partials, last_status_, delta);
+  ++stats_.allreduce_calls;
+  stats_.bytes += delta.bytes;
+  stats_.retries += delta.retries;
+  stats_.dropped += delta.dropped;
+  stats_.modeled_seconds += t;
+  return t;
+}
+
+double Communicator::broadcast(MatrixD& payload, int root) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CommStats delta;
+  const double t = do_broadcast(payload, root, last_status_, delta);
+  ++stats_.broadcast_calls;
+  stats_.bytes += delta.bytes;
+  stats_.retries += delta.retries;
+  stats_.dropped += delta.dropped;
+  stats_.modeled_seconds += t;
+  return t;
+}
+
+double Communicator::barrier() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CommStats delta;
+  const double t = do_barrier(last_status_, delta);
+  ++stats_.barrier_calls;
+  stats_.modeled_seconds += t;
+  return t;
+}
+
+CommStats Communicator::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+Status Communicator::last_status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_status_;
+}
+
+std::unique_ptr<Communicator> make_communicator(const CommSpec& spec) {
+  const int ranks = resolve_ranks(spec.ranks);
+  // Unknown cluster names fail even for 1 rank: a typo'd --cluster must not
+  // silently run single-rank-local.
+  const ClusterModel cluster = cluster_model_from_name(spec.cluster);
+  if (ranks == 1) return std::make_unique<LocalComm>();
+  log_info("Communicator: simcomm over %d in-process ranks (cluster '%s')",
+           ranks, spec.cluster.empty() ? "default" : spec.cluster.c_str());
+  return std::make_unique<SimCommBackend>(ranks, cluster, spec.retry);
+}
+
+}  // namespace mako

@@ -1,0 +1,144 @@
+// Pluggable rank communicator — the execution layer's collective seam.
+//
+// The paper's headline scaling run places one MPI rank per A100 across a
+// 64-GPU cluster; this environment has no cluster, so per the substitution
+// rules the production code path is rank-sharded against an *interface*
+// whose two backends are (1) a zero-cost single-rank no-op and (2) the
+// in-process SimComm ranks with the calibrated NVLink/HDR-IB cost model and
+// checksum-verified delivery.  Everything above this header — FockBuilder's
+// owner-computes partition, the SCF driver's guess broadcast and Fock
+// allreduce, checkpointing's rank topology fingerprint — talks to
+// `Communicator`, never to SimComm directly, exactly as it talks to
+// `GemmBackend` rather than a concrete kernel.
+//
+// Determinism contract (the reason `mako --ranks N` is bit-identical to
+// `--ranks 1` for every supported N):
+//   * Work is partitioned into a FIXED number of owner slices
+//     (kMaxCommRanks = 16), independent of both the rank count and the
+//     thread-pool width.
+//   * Rank r of N owns the contiguous slice block [r*16/N, (r+1)*16/N) — a
+//     complete subtree of the pinned 16-leaf reduction tree.
+//   * Every reduction — each rank's local fold of its own slices AND the
+//     cross-rank allreduce — uses the same pairwise level-by-level
+//     association (`pinned_tree_sum` in simcomm.hpp), so the composed sum is
+//     the identical 16-leaf tree no matter where the communication boundary
+//     sits.  FP addition is non-associative; pinning the association is what
+//     makes the rank count (and the pool size) drop out of the bits.
+// Consequently `ranks` must be a power of two in [1, kMaxCommRanks].
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "parallel/simcomm.hpp"
+#include "robust/status.hpp"
+
+namespace mako {
+
+/// Upper bound on in-process ranks; equals the fixed owner-slice count of
+/// the Fock partition (fock_plan.hpp pins the same constant and fock.cpp
+/// static_asserts they agree).
+inline constexpr int kMaxCommRanks = 16;
+
+/// How a communicator is requested: rank count (0 = resolve the MAKO_RANKS
+/// environment variable, then 1) plus a named cluster topology for the cost
+/// model.  Mirrors how GemmBackend resolves MakoOptions::backend.
+struct CommSpec {
+  int ranks = 0;        ///< 0 => $MAKO_RANKS, then 1
+  std::string cluster;  ///< "" => "default"; see cluster_model_from_name
+  CommRetryPolicy retry{};
+};
+
+/// Validates and resolves a requested rank count: 0 consults MAKO_RANKS and
+/// defaults to 1.  Throws InputError (kInvalidInput) unless the result is a
+/// power of two in [1, kMaxCommRanks].
+[[nodiscard]] int resolve_ranks(int requested);
+
+/// Named cluster topologies for the analytic cost model.  Known names:
+///   "default"      8 devices/node, NVLink intranode, HDR-IB internode
+///   "single-node"  every rank on one NVLink node (no internode hops)
+///   "ethernet"     commodity 10 GbE between nodes
+/// Throws InputError (kInvalidInput) for unknown names, listing the valid
+/// ones.
+[[nodiscard]] ClusterModel cluster_model_from_name(const std::string& name);
+
+/// Aggregate collective statistics of one communicator (monotonic).
+struct CommStats {
+  std::uint64_t allreduce_calls = 0;
+  std::uint64_t broadcast_calls = 0;
+  std::uint64_t barrier_calls = 0;
+  std::uint64_t bytes = 0;    ///< logical payload bytes moved by collectives
+  std::uint64_t retries = 0;  ///< verified-delivery resends
+  std::uint64_t dropped = 0;  ///< payloads lost in flight (kDrop injections)
+  double modeled_seconds = 0.0;
+};
+
+/// Rank communicator over MatrixD payloads (NVI).  All ranks of a
+/// communicator live in this process; rank() is the canonical rank whose
+/// buffers the driver consumes.  Collectives return the modeled wall time
+/// the operation would take on the cluster and carry verified-delivery
+/// semantics: last_status() is kCommCorruption when a payload could not be
+/// delivered within the retry budget (the caller must treat the operation's
+/// outputs as unusable).  Thread-safe: one communicator is shared by every
+/// job view of a batch.
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+
+  /// Canonical in-process rank (always 0: every simulated rank's buffers are
+  /// materialized here, and the driver consumes rank 0's).
+  [[nodiscard]] int rank() const noexcept { return 0; }
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Element-wise sum of per-rank partials in the pinned pairwise tree
+  /// order; every entry holds the reduced result afterwards (MPI_Allreduce
+  /// semantics).  `rank_partials.size()` must equal size().  Returns the
+  /// modeled collective seconds.
+  double allreduce_sum(std::vector<MatrixD>& rank_partials);
+
+  /// Delivers rank `root`'s payload to every rank.  With in-process ranks
+  /// the canonical buffer IS the payload, so on success it is unchanged;
+  /// the call exercises verified delivery and charges the modeled time.
+  double broadcast(MatrixD& payload, int root = 0);
+
+  /// Synchronization point; charges the modeled latency of an empty
+  /// collective.
+  double barrier();
+
+  [[nodiscard]] CommStats stats() const;
+  /// Health of the most recent collective (kCommCorruption after an
+  /// exhausted retry budget).
+  [[nodiscard]] Status last_status() const;
+
+ protected:
+  Communicator(std::string name, int size);
+
+  virtual double do_allreduce(std::vector<MatrixD>& rank_partials,
+                              Status& status, CommStats& delta) = 0;
+  virtual double do_broadcast(MatrixD& payload, int root, Status& status,
+                              CommStats& delta) = 0;
+  virtual double do_barrier(Status& status, CommStats& delta) = 0;
+
+ private:
+  std::string name_;
+  int size_;
+  mutable std::mutex mutex_;
+  CommStats stats_;
+  Status last_status_;
+};
+
+/// Builds the communicator a spec describes: "local" (rank 0 of 1, zero-cost
+/// no-op collectives) for ranks == 1, "simcomm" (SimComm in-process ranks +
+/// ClusterModel timing) otherwise.  Throws InputError for invalid rank
+/// counts or unknown cluster names.
+[[nodiscard]] std::unique_ptr<Communicator> make_communicator(
+    const CommSpec& spec = {});
+
+}  // namespace mako

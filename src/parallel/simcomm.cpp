@@ -20,10 +20,15 @@ double ClusterModel::allreduce_seconds(int nranks, std::size_t bytes) const {
   if (nranks <= 1 || bytes == 0) return 0.0;
   // Ring allreduce: 2*(R-1) steps, each moving bytes/R. Hops that cross node
   // boundaries run at internode speed; with one ring through all ranks a
-  // fraction (R/devices_per_node)/R of hops are internode.
+  // fraction (R/devices_per_node)/R of hops are internode.  Ranks that
+  // exactly fill one node (nranks == devices_per_node) take zero internode
+  // hops — the crossover to internode accounting happens strictly above the
+  // node capacity.  A non-positive devices_per_node is treated as 1 (every
+  // rank its own node) rather than dividing by zero.
+  const int dpn = std::max(devices_per_node, 1);
   const double steps = 2.0 * (nranks - 1);
   const double chunk = static_cast<double>(bytes) / nranks;
-  const int nodes = (nranks + devices_per_node - 1) / devices_per_node;
+  const int nodes = (nranks + dpn - 1) / dpn;
   const double internode_fraction =
       (nodes <= 1) ? 0.0 : static_cast<double>(nodes) / nranks;
   const double per_step_bw =
@@ -36,8 +41,9 @@ double ClusterModel::allreduce_seconds(int nranks, std::size_t bytes) const {
 
 double ClusterModel::broadcast_seconds(int nranks, std::size_t bytes) const {
   if (nranks <= 1 || bytes == 0) return 0.0;
+  const int dpn = std::max(devices_per_node, 1);
   const double hops = std::ceil(std::log2(static_cast<double>(nranks)));
-  const int nodes = (nranks + devices_per_node - 1) / devices_per_node;
+  const int nodes = (nranks + dpn - 1) / dpn;
   const LinkModel& link = (nodes > 1) ? internode : intranode;
   return hops * (link.latency_s + static_cast<double>(bytes) / link.bandwidth_bps);
 }
@@ -55,6 +61,18 @@ std::uint64_t payload_checksum(const MatrixD& m) noexcept {
   return h;
 }
 
+void pinned_tree_sum(MatrixD* const* parts, std::size_t n) {
+  // Pairwise level-by-level fold; an odd trailing element carries upward
+  // unchanged.  parts[i] += parts[i + stride] keeps the lower-index subtree
+  // as the left operand at every level, which is the association every
+  // caller (rank-local slice folds, SimComm's cross-rank reduce) must share.
+  for (std::size_t stride = 1; stride < n; stride *= 2) {
+    for (std::size_t i = 0; i + stride < n; i += 2 * stride) {
+      *parts[i] += *parts[i + stride];
+    }
+  }
+}
+
 SimComm::SimComm(int size, ClusterModel cluster, CommRetryPolicy retry)
     : size_(size), cluster_(cluster), retry_(retry) {
   if (size <= 0) throw std::invalid_argument("SimComm: size must be positive");
@@ -68,6 +86,8 @@ bool SimComm::deliver_verified(const char* site, MatrixD& payload, int attempt,
     const FaultSpec spec = FaultInjector::instance().armed_spec(site);
     if (spec.mode == FaultMode::kDrop) {
       dropped = true;  // message lost in flight; payload bytes never arrive
+      ++dropped_;
+      MAKO_METRIC_COUNT("comm.dropped", 1);
     } else {
       FaultInjector::instance().corrupt(site, payload.data(), payload.size());
     }
@@ -89,9 +109,18 @@ double SimComm::allreduce_sum(std::vector<MatrixD>& buffers) const {
   double t = 0.0;
   for (int attempt = 0;; ++attempt) {
     // Re-reduce from the pristine per-rank inputs each attempt; the result
-    // is the in-flight payload that delivery may corrupt or drop.
-    MatrixD sum = buffers[0];
-    for (int r = 1; r < size_; ++r) sum += buffers[r];
+    // is the in-flight payload that delivery may corrupt or drop.  The fold
+    // uses the pinned pairwise tree so the cross-rank association composes
+    // with each rank's local fold into one fixed reduction tree — the
+    // bit-identity contract of communicator.hpp.
+    tree_.resize(static_cast<std::size_t>(size_));
+    std::vector<MatrixD*> parts(static_cast<std::size_t>(size_));
+    for (int r = 0; r < size_; ++r) {
+      tree_[static_cast<std::size_t>(r)] = buffers[static_cast<std::size_t>(r)];
+      parts[static_cast<std::size_t>(r)] = &tree_[static_cast<std::size_t>(r)];
+    }
+    pinned_tree_sum(parts.data(), parts.size());
+    MatrixD& sum = tree_[0];
     t += cluster_.allreduce_seconds(size_, sum.size() * sizeof(double));
     if (deliver_verified("simcomm.allreduce", sum, attempt, t)) {
       for (int r = 0; r < size_; ++r) buffers[r] = sum;
@@ -121,6 +150,8 @@ double SimComm::allreduce_sum(std::vector<MatrixD>& buffers) const {
   }
   MAKO_METRIC_COUNT("comm.retries",
                     static_cast<std::int64_t>(retries_ - retries_before));
+  MAKO_METRIC_COUNT("comm.bytes", static_cast<std::int64_t>(
+                                      buffers[0].size() * sizeof(double)));
   MAKO_METRIC_OBSERVE("comm.modeled_s", t);
   return t;
 }
@@ -165,6 +196,8 @@ double SimComm::broadcast(std::vector<MatrixD>& buffers, int root) const {
   }
   MAKO_METRIC_COUNT("comm.retries",
                     static_cast<std::int64_t>(retries_ - retries_before));
+  MAKO_METRIC_COUNT("comm.bytes", static_cast<std::int64_t>(
+                                      buffers[root].size() * sizeof(double)));
   MAKO_METRIC_OBSERVE("comm.modeled_s", t);
   return t;
 }

@@ -53,6 +53,15 @@ struct CommRetryPolicy {
 /// any bit flip — including a NaN overwrite — changes it).
 [[nodiscard]] std::uint64_t payload_checksum(const MatrixD& m) noexcept;
 
+/// THE canonical reduction order of every multi-buffer sum in the codebase:
+/// folds parts[0..n) pairwise, level by level (s0+s1, s2+s3, ... then
+/// (s0+s1)+(s2+s3), ...), leaving the total in *parts[0].  An odd trailing
+/// element is carried to the next level unchanged.  FP addition is
+/// non-associative, so rank-count-invariant results require every reduction
+/// — a rank's local fold of its owner slices and the cross-rank allreduce —
+/// to compose into this one fixed tree (see communicator.hpp).
+void pinned_tree_sum(MatrixD* const* parts, std::size_t n);
+
 /// In-process communicator over `size` simulated ranks.  Collectives have
 /// real (verified) semantics; each call also returns the modeled wall time
 /// the collective would take on the cluster, including any retries after a
@@ -83,6 +92,10 @@ class SimComm {
 
   /// Total resends across all collectives so far.
   [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+  /// Payloads lost in flight (kDrop injections) across all collectives; a
+  /// drop always costs a retry, so dropped() <= retries() except when the
+  /// final attempt of an exhausted budget was itself a drop.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
   /// Health of the most recent collective: ok, or kCommCorruption when the
   /// retry budget was exhausted (the input buffers are left untouched then).
   [[nodiscard]] const Status& last_status() const noexcept {
@@ -100,7 +113,11 @@ class SimComm {
   CommRetryPolicy retry_;
   mutable double comm_seconds_ = 0.0;
   mutable std::uint64_t retries_ = 0;
+  mutable std::uint64_t dropped_ = 0;
   mutable Status last_status_;
+  /// Per-attempt reduction staging (the in-flight payload delivery may
+  /// corrupt); reused across calls so inputs stay untouched on failure.
+  mutable std::vector<MatrixD> tree_;
 };
 
 /// Static work partitioning across ranks.

@@ -83,18 +83,12 @@ void run_sharded(ThreadPool& pool, std::size_t n, const Fn& fn) {
   pool.parallel_for(n, [&](std::size_t s) { fn(s); });
 }
 
-/// Row boundary of routing shard `s` of `nroute` over the pair triangle:
-/// bra row bi spans kets [bi, np), so row bi holds np - bi quartets and the
-/// balanced-area boundary follows 1 - sqrt(1 - s/nroute).
-std::size_t route_boundary(std::size_t np, std::size_t s, std::size_t nroute) {
-  if (s == 0) return 0;
-  if (s >= nroute) return np;
-  const double frac =
-      static_cast<double>(s) / static_cast<double>(nroute);
-  const double r =
-      static_cast<double>(np) * (1.0 - std::sqrt(1.0 - frac));
-  return std::min(np, static_cast<std::size_t>(std::llround(r)));
-}
+/// The fixed owner-slice count is the unit of rank decomposition: the
+/// communicator's rank cap and the plan's slice count must agree or the
+/// contiguous-subtree ownership rule (communicator.hpp) breaks.
+static_assert(FockPlan::kOwnerSlices ==
+                  static_cast<std::size_t>(kMaxCommRanks),
+              "owner-slice count must equal the communicator rank cap");
 
 }  // namespace
 
@@ -137,10 +131,14 @@ struct FockBuilder::Scratch {
 
   MatrixD dmax;                        ///< per-shell-pair density maxima
   std::vector<double> dmax_shard_max;  ///< per-shard |D| block maxima
-  std::vector<std::size_t> route_rows;  ///< nroute+1 shard row boundaries
-  std::vector<RouteShard> route;
-  std::vector<BatchTask> tasks;
-  std::vector<DigestShard> digest;
+  std::vector<RouteShard> route;       ///< one per owner slice
+  std::vector<BatchTask> tasks;        ///< flattened slice-major
+  /// Task range of owner slice s: [bounds[s], bounds[s+1]).
+  std::array<std::size_t, FockPlan::kOwnerSlices + 1> slice_task_bounds{};
+  std::vector<DigestShard> digest;  ///< one per owner slice
+  /// Per-rank J/K partials staged for the allreduce (ranks > 1 only); warm
+  /// across builds so the steady state stays allocation-free.
+  std::vector<MatrixD> rank_j, rank_k;
 };
 
 FockBuilder::FockBuilder(const BasisSet& basis, FockOptions options,
@@ -193,8 +191,6 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
     ref_engine.emplace(options_.max_engine_l);
   }
   std::vector<double> ref_vals;
-  double ref_eri_seconds = 0.0;
-  double ref_digest_seconds = 0.0;
 
   // --- Density-dependent pass 1: per-shell-pair density maxima ------------
   // (iteration-invariant counterpart — bounds, pair order, class partition —
@@ -247,20 +243,28 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
           : policy.prune_threshold;
   const double dcap = std::max(dmax_global, 1e-30);
 
-  std::size_t nroute = 1;
-  if (par && np > 0) {
-    nroute = std::min(std::max<std::size_t>(pool.size(), 1), (np + 7) / 8);
-    nroute = std::max<std::size_t>(nroute, 1);
+  // The routing (and digestion) grain is ALWAYS the plan's kOwnerSlices
+  // fixed row slices — never the pool width — so the accumulation topology
+  // is invariant under both the thread count and the rank count.  Rank
+  // sharding is owner-computes over these slices; in-process, the union of
+  // all ranks' slices is computed exactly once (no duplicated work), and
+  // the rank boundary only determines what the allreduce moves.
+  constexpr std::size_t kS = FockPlan::kOwnerSlices;
+  const std::vector<std::size_t>& slice_rows = plan.slice_rows();
+  scratch.route.resize(kS);
+  scratch.digest.resize(kS);
+  if (options_.engine == EriEngineKind::kReference) {
+    // The reference engine digests inline during routing, so its per-slice
+    // accumulators must be zeroed up front (the Mako path zeroes them in
+    // the digestion pass instead).
+    for (Scratch::DigestShard& shard : scratch.digest) {
+      shard.j.resize(nbf, nbf, 0.0);
+      shard.k.resize(nbf, nbf, 0.0);
+      shard.eri_seconds = shard.digest_seconds = shard.gemm_flops = 0.0;
+    }
   }
-  scratch.route_rows.resize(nroute + 1);
-  for (std::size_t s = 0; s <= nroute; ++s) {
-    scratch.route_rows[s] =
-        std::max(route_boundary(np, s, nroute),
-                 s > 0 ? scratch.route_rows[s - 1] : std::size_t{0});
-  }
-  scratch.route.resize(nroute);
 
-  run_sharded(pool, nroute, [&](std::size_t s) {
+  const auto route_slice = [&](std::size_t s) {
     Scratch::RouteShard& rs = scratch.route[s];
     rs.buckets.resize(nslots * 2);
     for (Scratch::Bucket& bk : rs.buckets) {
@@ -270,8 +274,8 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
     rs.fp64 = rs.quantized = rs.pruned = 0;
     rs.visited = rs.pruned_early = 0;
 
-    const std::size_t lo = scratch.route_rows[s];
-    const std::size_t hi = scratch.route_rows[s + 1];
+    const std::size_t lo = slice_rows[s];
+    const std::size_t hi = slice_rows[s + 1];
     for (std::size_t bi = lo; bi < hi; ++bi) {
       if (cancel.cancelled()) return;  // shard bails; buckets stay partial
       const FockShellPair& pb = pairs[bi];
@@ -337,12 +341,14 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
           const Shell& sb = *bra->s2;
           const Shell& sc = *ket->s1;
           const Shell& sd = *ket->s2;
+          Scratch::DigestShard& shard = scratch.digest[s];
           Timer et;
           ref_engine->compute(sa, sb, sc, sd, ref_vals);
-          ref_eri_seconds += et.seconds();
+          shard.eri_seconds += et.seconds();
           Timer dt;
-          digest_quartet(density, j, k, sa, sb, sc, sd, weight, ref_vals);
-          ref_digest_seconds += dt.seconds();
+          digest_quartet(density, shard.j, shard.k, sa, sb, sc, sd, weight,
+                         ref_vals);
+          shard.digest_seconds += dt.seconds();
         } else {
           const std::uint32_t slot = plan.class_slot(bra->klass, ket->klass);
           Scratch::Bucket& bk =
@@ -352,10 +358,15 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
         }
       }
     }
-  });
+  };
+  if (par) {
+    run_sharded(pool, kS, route_slice);
+  } else {
+    for (std::size_t s = 0; s < kS; ++s) route_slice(s);
+  }
 
-  // Deterministic reduction: shard counters in shard order.
-  for (std::size_t s = 0; s < nroute; ++s) {
+  // Deterministic reduction: shard counters in slice order.
+  for (std::size_t s = 0; s < kS; ++s) {
     const Scratch::RouteShard& rs = scratch.route[s];
     stats.quartets_fp64 += rs.fp64;
     stats.quartets_quantized += rs.quantized;
@@ -364,17 +375,26 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
     stats.screen_pruned_early += rs.pruned_early;
   }
   screen_span.end();
-  stats.route_seconds = std::max(
-      0.0, route_timer.seconds() - ref_eri_seconds - ref_digest_seconds);
+  double inline_digest_seconds = 0.0;
+  if (options_.engine == EriEngineKind::kReference) {
+    for (const Scratch::DigestShard& shard : scratch.digest) {
+      inline_digest_seconds += shard.eri_seconds + shard.digest_seconds;
+    }
+  }
+  stats.route_seconds =
+      std::max(0.0, route_timer.seconds() - inline_digest_seconds);
 
+  Timer jk_timer;
   if (options_.engine == EriEngineKind::kMako) {
     // Serial section: resolve one engine per (class, precision) — reused
     // across buckets and across successive build_jk calls — and flatten the
-    // shard buckets into per-batch tasks for the pool.  Task order (shard-
-    // major, then class slot, then precision route) is independent of the
-    // pool, so repeated builds schedule identically.
+    // slice buckets into per-batch tasks.  Task order (slice-major, then
+    // class slot, then precision route) is independent of the pool, so
+    // repeated builds schedule identically; slice_task_bounds records each
+    // slice's contiguous range so digestion stays owner-computes.
     scratch.tasks.clear();
-    for (std::size_t s = 0; s < nroute; ++s) {
+    for (std::size_t s = 0; s < kS; ++s) {
+      scratch.slice_task_bounds[s] = scratch.tasks.size();
       Scratch::RouteShard& rs = scratch.route[s];
       for (std::size_t slot = 0; slot < nslots; ++slot) {
         for (int q = 0; q < 2; ++q) {
@@ -414,20 +434,15 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
         }
       }
     }
+    scratch.slice_task_bounds[kS] = scratch.tasks.size();
 
-    // Parallel section: shards claim tasks round-robin and digest into
-    // per-shard J/K accumulators (second stage of dual-stage accumulation,
-    // FP64 throughout), reduced deterministically afterwards.  Batches are
-    // class-segmented by construction, so the engine skips its per-quartet
-    // homogeneity checks (verify_class = false).
-    Timer jk_timer;
-    const std::size_t ndig =
-        options_.parallel
-            ? std::min(scratch.tasks.size(),
-                       std::max<std::size_t>(pool.size(), 1))
-            : std::min<std::size_t>(scratch.tasks.size(), 1);
-    scratch.digest.resize(ndig);
-    run_sharded(pool, ndig, [&](std::size_t s) {
+    // Parallel section: each owner slice digests its own contiguous task
+    // range, in order, into its per-slice J/K accumulators (second stage of
+    // dual-stage accumulation, FP64 throughout); the pinned fold below
+    // reduces them.  Batches are class-segmented by construction, so the
+    // engine skips its per-quartet homogeneity checks (verify_class =
+    // false).
+    const auto digest_slice = [&](std::size_t s) {
       obs::TraceSpan shard_span(obs::TraceCat::kFock, "fock.shard");
       if (shard_span.active()) {
         char args[32];
@@ -438,8 +453,9 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
       shard.j.resize(nbf, nbf, 0.0);
       shard.k.resize(nbf, nbf, 0.0);
       shard.eri_seconds = shard.digest_seconds = shard.gemm_flops = 0.0;
-      for (std::size_t t = s; t < scratch.tasks.size(); t += ndig) {
-        if (cancel.cancelled()) return;  // shard bails; J/K stay partial
+      for (std::size_t t = scratch.slice_task_bounds[s];
+           t < scratch.slice_task_bounds[s + 1]; ++t) {
+        if (cancel.cancelled()) return;  // slice bails; J/K stay partial
         const Scratch::BatchTask& task = scratch.tasks[t];
         const std::span<const QuartetRef> batch(
             task.bucket->refs.data() + task.start, task.count);
@@ -468,25 +484,86 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
         }
         shard.digest_seconds += dt.seconds();
       }
-    });
-    {
-      MAKO_TRACE_SCOPE(obs::TraceCat::kFock, "fock.reduce");
-      for (std::size_t s = 0; s < ndig; ++s) {
-        const Scratch::DigestShard& shard = scratch.digest[s];
-        j += shard.j;
-        k += shard.k;
-        stats.gemm_flops += shard.gemm_flops;
-        // Summed across shards: with real concurrency these CPU-time sums
-        // can exceed the wall-clock window (jk_wall_seconds).
-        stats.eri_seconds += shard.eri_seconds;
-        stats.digest_seconds += shard.digest_seconds;
-      }
+    };
+    if (options_.parallel) {
+      run_sharded(pool, kS, digest_slice);
+    } else {
+      for (std::size_t s = 0; s < kS; ++s) digest_slice(s);
     }
+  }
+
+  // Per-slice stats in slice order.  Summed across slices: with real
+  // concurrency the CPU-time sums can exceed the wall-clock window
+  // (jk_wall_seconds).
+  for (std::size_t s = 0; s < kS; ++s) {
+    const Scratch::DigestShard& shard = scratch.digest[s];
+    stats.gemm_flops += shard.gemm_flops;
+    stats.eri_seconds += shard.eri_seconds;
+    stats.digest_seconds += shard.digest_seconds;
+    stats.slice_compute_seconds[s] = shard.eri_seconds + shard.digest_seconds;
+  }
+
+  // --- Pinned fold + cross-rank reduction ---------------------------------
+  // Skipped when cancelled: J/K stay partial and the driver discards them.
+  if (!cancel.cancelled()) {
+    MAKO_TRACE_SCOPE(obs::TraceCat::kFock, "fock.reduce");
+    Communicator& comm = ctx_->comm();
+    const int nranks = comm.size();
+    const std::size_t per = kS / static_cast<std::size_t>(nranks);
+    // Each rank folds its own contiguous slice block — a complete subtree
+    // of the pinned 16-leaf tree — leaving the rank partial in the block's
+    // first slice.
+    std::array<MatrixD*, kS> part;
+    for (int r = 0; r < nranks; ++r) {
+      const std::size_t base = static_cast<std::size_t>(r) * per;
+      for (std::size_t i = 0; i < per; ++i) {
+        part[i] = &scratch.digest[base + i].j;
+      }
+      pinned_tree_sum(part.data(), per);
+      for (std::size_t i = 0; i < per; ++i) {
+        part[i] = &scratch.digest[base + i].k;
+      }
+      pinned_tree_sum(part.data(), per);
+    }
+    if (nranks == 1) {
+      j += scratch.digest[0].j;
+      k += scratch.digest[0].k;
+    } else {
+      // Stage the rank partials and allreduce in the pinned cross-rank
+      // order; the composed association equals the single-rank 16-leaf
+      // fold, so the delivered sum is bit-identical for every rank count.
+      const CommStats before = comm.stats();
+      scratch.rank_j.resize(static_cast<std::size_t>(nranks));
+      scratch.rank_k.resize(static_cast<std::size_t>(nranks));
+      for (int r = 0; r < nranks; ++r) {
+        const std::size_t base = static_cast<std::size_t>(r) * per;
+        scratch.rank_j[static_cast<std::size_t>(r)] = scratch.digest[base].j;
+        scratch.rank_k[static_cast<std::size_t>(r)] = scratch.digest[base].k;
+      }
+      stats.comm_seconds += comm.allreduce_sum(scratch.rank_j);
+      stats.comm_status = comm.last_status();
+      if (stats.comm_status.is_ok()) {
+        stats.comm_seconds += comm.allreduce_sum(scratch.rank_k);
+        stats.comm_status = comm.last_status();
+      }
+      const CommStats after = comm.stats();
+      stats.comm_bytes = after.bytes - before.bytes;
+      stats.comm_retries =
+          static_cast<std::int64_t>(after.retries - before.retries);
+      if (stats.comm_status.is_ok()) {
+        j += scratch.rank_j[0];
+        k += scratch.rank_k[0];
+      }
+      // On an exhausted retry budget J/K stay zero; comm_status carries
+      // the fault and the driver hard-faults the iteration (a partial J is
+      // symmetric and finite, so sentinel audits would never notice).
+    }
+  }
+
+  if (options_.engine == EriEngineKind::kMako) {
     stats.jk_wall_seconds = jk_timer.seconds();
   } else {
-    stats.eri_seconds = ref_eri_seconds;
-    stats.digest_seconds = ref_digest_seconds;
-    stats.jk_wall_seconds = ref_eri_seconds + ref_digest_seconds;
+    stats.jk_wall_seconds = stats.eri_seconds + stats.digest_seconds;
   }
 
   // Injection site: poison one J entry after digestion, but only for builds
@@ -509,6 +586,9 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
   MAKO_METRIC_OBSERVE("fock.digest_s", stats.digest_seconds);
   MAKO_METRIC_OBSERVE("fock.route_s", stats.route_seconds);
   MAKO_METRIC_OBSERVE("fock.jk_wall_s", stats.jk_wall_seconds);
+  if (stats.comm_bytes > 0) {
+    MAKO_METRIC_OBSERVE("fock.comm_s", stats.comm_seconds);
+  }
   if (build_span.active()) {
     char args[192];
     std::snprintf(args, sizeof args,

@@ -14,6 +14,7 @@
 // plus batch evaluation and digestion.  See fock_plan.hpp.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -25,6 +26,7 @@
 #include "kernelmako/batched_eri.hpp"
 #include "linalg/matrix.hpp"
 #include "quantmako/scheduler.hpp"
+#include "robust/status.hpp"
 #include "scf/fock_plan.hpp"
 
 namespace mako {
@@ -71,6 +73,23 @@ struct FockStats {
   double route_seconds = 0.0;   ///< wall clock of dmax + routing pass
   double jk_wall_seconds = 0.0; ///< wall clock of eval+digest+reduce phase
   double gemm_flops = 0.0;
+  /// Per-owner-slice compute time (eri + digest CPU seconds); slice s of
+  /// FockPlan::kOwnerSlices.  Rank r of N owns the contiguous block
+  /// [r*S/N, (r+1)*S/N), so the bench derives measured per-rank compute at
+  /// any supported rank count from one single-rank build.
+  std::array<double, FockPlan::kOwnerSlices> slice_compute_seconds{};
+  /// Modeled collective time of the partial-J/K allreduces (zero on one
+  /// rank).
+  double comm_seconds = 0.0;
+  /// Logical payload bytes moved by this build's collectives.
+  std::uint64_t comm_bytes = 0;
+  /// Verified-delivery resends during this build's collectives.
+  std::int64_t comm_retries = 0;
+  /// Health of this build's collectives: kCommCorruption when an allreduce
+  /// exhausted its retry budget — J/K are then unusable and the SCF driver
+  /// must hard-fault the iteration (sentinel audits cannot catch this: a
+  /// partial J is still symmetric and finite).
+  Status comm_status = Status::ok();
   /// True when the context's CancelToken tripped mid-build and shards bailed
   /// early.  J/K are then PARTIAL — the caller must discard them (the SCF
   /// driver checks this before any audit so a half-built Fock never reads as

@@ -25,6 +25,18 @@ inline void fnv1a(std::uint64_t& h, const void* data, std::size_t n) {
   }
 }
 
+/// Row boundary of owner slice `s` of `nslices` over the pair triangle:
+/// bra row bi spans kets [bi, np), so row bi holds np - bi quartets and the
+/// balanced-area boundary follows 1 - sqrt(1 - s/nslices).
+std::size_t slice_boundary(std::size_t np, std::size_t s,
+                           std::size_t nslices) {
+  if (s == 0) return 0;
+  if (s >= nslices) return np;
+  const double frac = static_cast<double>(s) / static_cast<double>(nslices);
+  const double r = static_cast<double>(np) * (1.0 - std::sqrt(1.0 - frac));
+  return std::min(np, static_cast<std::size_t>(std::llround(r)));
+}
+
 }  // namespace
 
 FockPlan::FockPlan(const BasisSet& basis, ThreadPool& pool) {
@@ -109,6 +121,17 @@ FockPlan::FockPlan(const BasisSet& basis, ThreadPool& pool) {
               if (a.i1 != b.i1) return a.i1 < b.i1;
               return a.i2 < b.i2;
             });
+
+  // Owner-computes partition: kOwnerSlices fixed row slices of the sorted
+  // triangle, monotone and area-balanced.  These boundaries are part of the
+  // plan (not per-build state) because they define where the rank boundary
+  // may sit; see slice_rows().
+  slice_rows_.resize(kOwnerSlices + 1);
+  for (std::size_t s = 0; s <= kOwnerSlices; ++s) {
+    slice_rows_[s] =
+        std::max(slice_boundary(pairs_.size(), s, kOwnerSlices),
+                 s > 0 ? slice_rows_[s - 1] : std::size_t{0});
+  }
 
   // Quartet-class table: class key of (bra pair class x ket pair class),
   // deduplicated into slots.  O(1) lookup replaces the per-quartet

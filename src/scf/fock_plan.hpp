@@ -62,6 +62,16 @@ struct FockShellPair {
 /// from (the cache key guards against address reuse).
 class FockPlan {
  public:
+  /// Fixed owner-slice count of the Fock partition.  The pair triangle is
+  /// always split into this many area-balanced row slices — independent of
+  /// the rank count AND the thread-pool width — and every J/K reduction
+  /// folds the slice accumulators in the pinned pairwise tree order
+  /// (pinned_tree_sum).  Rank r of N owns the contiguous slice block
+  /// [r*S/N, (r+1)*S/N), a complete subtree, which is what makes
+  /// `--ranks N` bit-identical to `--ranks 1` (see communicator.hpp; must
+  /// equal kMaxCommRanks, static_asserted in fock.cpp).
+  static constexpr std::size_t kOwnerSlices = 16;
+
   /// Builds the plan; the Schwarz-bound pass runs on `pool`.
   FockPlan(const BasisSet& basis, ThreadPool& pool);
 
@@ -96,6 +106,14 @@ class FockPlan {
     return np * (np + 1) / 2;
   }
 
+  /// kOwnerSlices + 1 monotone row boundaries of the owner slices over the
+  /// sorted pair triangle (slice s spans bra rows [rows[s], rows[s+1]));
+  /// sqrt-balanced by quartet area.  Small bases may leave trailing slices
+  /// empty — empty slices contribute exact zeros to the pinned fold.
+  [[nodiscard]] const std::vector<std::size_t>& slice_rows() const noexcept {
+    return slice_rows_;
+  }
+
   /// Content fingerprint of a basis (FNV-1a over shells + geometry); part of
   /// the plan cache key.
   static std::uint64_t fingerprint(const BasisSet& basis);
@@ -106,6 +124,7 @@ class FockPlan {
   std::size_t npc_ = 0;                ///< number of distinct pair classes
   std::vector<EriClassKey> classes_;   ///< distinct quartet classes
   std::vector<std::uint32_t> slot_;    ///< [npc_ x npc_] -> class slot
+  std::vector<std::size_t> slice_rows_;  ///< kOwnerSlices+1 row boundaries
 };
 
 /// Cache of FockPlans, anchored per ExecutionContext through

@@ -65,7 +65,7 @@ inline void fnv1a(std::uint64_t& h, const void* data, std::size_t n) {
 /// against a different problem must fail loudly, never compute garbage.
 std::uint64_t scf_fingerprint(const Molecule& mol, const BasisSet& basis,
                               const ScfOptions& options,
-                              const std::string& backend_name) {
+                              const std::string& backend_name, int ranks) {
   std::uint64_t h = FockPlan::fingerprint(basis);
   const int charge = mol.charge();
   fnv1a(h, &charge, sizeof charge);
@@ -89,6 +89,11 @@ std::uint64_t scf_fingerprint(const Molecule& mol, const BasisSet& basis,
       options.robust.stagnation_window,
       options.robust.max_retries_per_iteration,
       static_cast<std::int32_t>(options.subspace_max_iter),
+      // Rank topology: results are bit-identical across rank counts, but
+      // comm accounting and failure behavior are not — a checkpoint written
+      // under one topology must be refused under another rather than
+      // resuming with silently different collective semantics.
+      ranks,
   };
   fnv1a(h, ints, sizeof ints);
   const double doubles[] = {
@@ -159,6 +164,11 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
   // Execution environment: the engine-owned context, or the process default.
   const ExecutionContext& exec = ctx ? *ctx : ExecutionContext::process();
   const GemmBackend* const be = &exec.backend();
+  // Rank communicator of the run ("local" on one rank).  The driver itself
+  // stays replicated — DIIS, diagonalization, and the convergence test run
+  // identically on every rank — while the Fock build is owner-computes with
+  // allreduced partials (fock.cpp) and the initial guess is broadcast below.
+  Communicator& comm = exec.comm();
 
   ScfResult result;
   result.e_nuclear = mol.nuclear_repulsion();
@@ -211,7 +221,8 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
   const bool durable =
       !dur.checkpoint_path.empty() || !dur.restore_path.empty();
   const std::uint64_t fingerprint =
-      durable ? scf_fingerprint(mol, basis, options, be->name()) : 0;
+      durable ? scf_fingerprint(mol, basis, options, be->name(), comm.size())
+              : 0;
 
   double last_energy = 0.0;
   double last_error = 1.0;
@@ -284,6 +295,24 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
     result.coefficients = matmul(x, es.eigenvectors, be);
     result.orbital_energies = es.eigenvalues;
     result.density = build_density(result.coefficients, nocc);
+    if (comm.size() > 1) {
+      // Every rank iterates from rank 0's guess.  With in-process ranks the
+      // canonical buffer IS the payload, so a successful broadcast leaves it
+      // unchanged while exercising verified delivery and charging the
+      // modeled time; an exhausted retry budget means the ranks never agreed
+      // on a starting density, which is unrecoverable for this run.
+      result.comm_seconds += comm.broadcast(result.density, 0);
+      const Status bst = comm.last_status();
+      if (!bst.is_ok()) {
+        result.status = bst;
+        result.health = Health::kFault;
+        result.recovery_log.push_back(
+            {0, bst.kind(), RecoveryAction::kAbort, bst.message()});
+        log_error("run_scf: initial-guess broadcast failed: %s",
+                  bst.message().c_str());
+        return result;
+      }
+    }
   }
 
   // Checkpoint capture: snapshot every loop-carried datum at the end of a
@@ -383,6 +412,9 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
       t.ladder_rung = ladder.rung;
       t.retries = record.retries;
       t.domain_faults = record.domain_faults;
+      t.comm_retries = fs.comm_retries;
+      t.comm_allreduce_s = fs.comm_seconds;
+      t.comm_bytes = fs.comm_bytes;
       result.telemetry.push_back(t);
       MAKO_METRIC_OBSERVE("scf.iteration_s", record.seconds);
     };
@@ -483,8 +515,12 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
         break;
       }
 
-      Status st = Status::ok();
-      if (robust.sentinels) {
+      // Collective failure first: an exhausted allreduce retry budget leaves
+      // J/K unusable in a way no sentinel can detect — a partial J is still
+      // symmetric and finite — so comm health routes into the same
+      // hard-fault retry path as the numeric audits.
+      Status st = fs.comm_status;
+      if (st.is_ok() && robust.sentinels) {
         st = audit_finite(j, "J");
         if (st.is_ok()) st = audit_finite(k, "K");
         if (st.is_ok()) st = audit_symmetry(j, "J", robust.symmetry_tol);
@@ -527,6 +563,9 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
     record.quartets_fp64 = fs.quartets_fp64;
     record.quartets_quantized = fs.quartets_quantized;
     record.quartets_pruned = fs.quartets_pruned;
+    result.comm_seconds += fs.comm_seconds;
+    result.comm_bytes += fs.comm_bytes;
+    result.comm_retries += fs.comm_retries;
 
     XcResult xres;
     if (grid) {
@@ -687,6 +726,11 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
     result.e_coulomb = e_coul;
     result.e_exact_exchange = e_xx;
     result.e_xc = xres.energy;
+
+    // Iteration boundary: ranks synchronize before the convergence test.
+    // DIIS and diagonalization are replicated, so the barrier only charges
+    // the modeled latency of an empty collective.
+    if (comm.size() > 1) result.comm_seconds += comm.barrier();
 
     record.energy = energy;
     record.error = last_error;

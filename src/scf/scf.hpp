@@ -139,6 +139,13 @@ struct ScfResult {
   MatrixD coefficients;
   MatrixD fock;
   std::vector<ScfIterationRecord> iteration_log;
+  /// Modeled collective seconds, logical payload bytes, and verified-
+  /// delivery resends accumulated over the run's Fock allreduces, the
+  /// initial-guess broadcast, and iteration barriers.  All zero on one rank
+  /// ("local" communicator).
+  double comm_seconds = 0.0;
+  std::uint64_t comm_bytes = 0;
+  std::int64_t comm_retries = 0;
   /// One observability record per iteration: the precision policy actually
   /// used, integral-class routing counts, per-stage timings, and resilience
   /// state.  Always filled (independent of tracing being on); the CLI prints

@@ -1,0 +1,266 @@
+// Communicator layer tests: backend selection and typed input validation,
+// zero-cost local collectives, pinned-tree allreduce semantics through the
+// NVI seam, verified delivery under fault injection, the rank-invariance
+// contract (`--ranks N` SCF is bit-identical to `--ranks 1` on every
+// supported rank count and GEMM backend), comm failures hard-faulting the
+// SCF, and checkpoint topology guarding.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "basis/basis_set.hpp"
+#include "chem/builders.hpp"
+#include "core/execution_context.hpp"
+#include "parallel/communicator.hpp"
+#include "robust/fault_injector.hpp"
+#include "robust/status.hpp"
+#include "scf/scf.hpp"
+
+namespace mako {
+namespace {
+
+/// Saves and restores MAKO_RANKS around a test that manipulates it (the CI
+/// multi-rank leg exports it for the whole suite).
+class CommunicatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* v = std::getenv("MAKO_RANKS");
+    had_env_ = v != nullptr;
+    if (had_env_) saved_env_ = v;
+  }
+  void TearDown() override {
+    if (had_env_) {
+      ::setenv("MAKO_RANKS", saved_env_.c_str(), 1);
+    } else {
+      ::unsetenv("MAKO_RANKS");
+    }
+    FaultInjector::instance().disarm_all();
+  }
+
+  bool had_env_ = false;
+  std::string saved_env_;
+};
+
+ExecutionContext make_context(const std::string& backend, int ranks) {
+  ExecutionContextOptions opt;
+  opt.backend = backend;
+  opt.make_active = false;
+  opt.ranks = ranks;
+  return ExecutionContext(opt);
+}
+
+TEST_F(CommunicatorTest, ResolveRanksConsultsEnvironmentThenDefaultsToOne) {
+  ::unsetenv("MAKO_RANKS");
+  EXPECT_EQ(resolve_ranks(0), 1);
+  EXPECT_EQ(resolve_ranks(8), 8);
+  ::setenv("MAKO_RANKS", "4", 1);
+  EXPECT_EQ(resolve_ranks(0), 4);
+  EXPECT_EQ(resolve_ranks(2), 2);  // explicit request beats the env
+}
+
+TEST_F(CommunicatorTest, RejectsBadRankCountsWithTypedError) {
+  for (int bad : {3, 5, 12, 32, -2}) {
+    try {
+      (void)resolve_ranks(bad);
+      FAIL() << "expected InputError for ranks=" << bad;
+    } catch (const InputError& e) {
+      EXPECT_EQ(e.kind(), FaultKind::kInvalidInput);
+      EXPECT_NE(std::string(e.what()).find("power of two"), std::string::npos);
+    }
+  }
+  // Garbage in the environment is a typed error too, not a silent 1; an
+  // EMPTY variable counts as unset (the shell-friendly convention).
+  for (const char* bad : {"garbage", "8x", "3"}) {
+    ::setenv("MAKO_RANKS", bad, 1);
+    EXPECT_THROW((void)resolve_ranks(0), InputError) << "MAKO_RANKS=" << bad;
+  }
+  ::setenv("MAKO_RANKS", "", 1);
+  EXPECT_EQ(resolve_ranks(0), 1);
+}
+
+TEST_F(CommunicatorTest, UnknownClusterNameRaisesTypedError) {
+  try {
+    (void)cluster_model_from_name("token-ring");
+    FAIL() << "expected InputError";
+  } catch (const InputError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kInvalidInput);
+    // Actionable: the message lists the valid names.
+    EXPECT_NE(std::string(e.what()).find("single-node"), std::string::npos);
+  }
+  // The cluster name is validated even for a single-rank run, so a typo
+  // fails loudly instead of surfacing only when --ranks is raised later.
+  CommSpec spec;
+  spec.ranks = 1;
+  spec.cluster = "token-ring";
+  EXPECT_THROW((void)make_communicator(spec), InputError);
+  EXPECT_NO_THROW((void)cluster_model_from_name("default"));
+  EXPECT_NO_THROW((void)cluster_model_from_name("single-node"));
+  EXPECT_NO_THROW((void)cluster_model_from_name("ethernet"));
+}
+
+TEST_F(CommunicatorTest, LocalBackendIsZeroCostRankZeroOfOne) {
+  CommSpec spec;
+  spec.ranks = 1;
+  auto comm = make_communicator(spec);
+  EXPECT_EQ(comm->name(), "local");
+  EXPECT_EQ(comm->rank(), 0);
+  EXPECT_EQ(comm->size(), 1);
+
+  std::vector<MatrixD> partials(1, MatrixD(4, 4, 2.5));
+  EXPECT_DOUBLE_EQ(comm->allreduce_sum(partials), 0.0);
+  EXPECT_DOUBLE_EQ(partials[0](0, 0), 2.5);  // sum of one part is itself
+  MatrixD payload(4, 4, 1.0);
+  EXPECT_DOUBLE_EQ(comm->broadcast(payload), 0.0);
+  EXPECT_DOUBLE_EQ(comm->barrier(), 0.0);
+  EXPECT_TRUE(comm->last_status().is_ok());
+  const CommStats s = comm->stats();
+  EXPECT_EQ(s.allreduce_calls, 1u);
+  EXPECT_EQ(s.broadcast_calls, 1u);
+  EXPECT_EQ(s.barrier_calls, 1u);
+  EXPECT_DOUBLE_EQ(s.modeled_seconds, 0.0);
+}
+
+TEST_F(CommunicatorTest, SimcommAllreduceMatchesPinnedTreeBitForBit) {
+  CommSpec spec;
+  spec.ranks = 4;
+  auto comm = make_communicator(spec);
+  EXPECT_EQ(comm->name(), "simcomm");
+  EXPECT_EQ(comm->size(), 4);
+
+  // Values whose sum rounds differently under a different association, so
+  // this would catch a backend that falls back to a naive left fold.
+  std::vector<MatrixD> partials;
+  const double vals[4] = {1e16, 1.0, -1e16, 1.0};
+  for (double v : vals) partials.emplace_back(2, 2, v);
+  std::vector<MatrixD> expect_parts = partials;
+  std::vector<MatrixD*> ptrs;
+  for (auto& m : expect_parts) ptrs.push_back(&m);
+  pinned_tree_sum(ptrs.data(), ptrs.size());
+
+  const double t = comm->allreduce_sum(partials);
+  EXPECT_GT(t, 0.0);  // four ranks move real modeled bytes
+  for (const MatrixD& p : partials) {
+    EXPECT_EQ(0, std::memcmp(p.data(), expect_parts[0].data(),
+                             p.size() * sizeof(double)));
+  }
+  const CommStats s = comm->stats();
+  EXPECT_EQ(s.bytes, partials[0].size() * sizeof(double));
+}
+
+TEST_F(CommunicatorTest, FaultInjectedAllreduceRedeliversVerified) {
+  if (!FaultInjector::compiled_in()) {
+    GTEST_SKIP() << "built with MAKO_FAULT_INJECTION=OFF";
+  }
+  CommSpec spec;
+  spec.ranks = 2;
+  auto comm = make_communicator(spec);
+
+  FaultSpec fault;
+  fault.mode = FaultMode::kNaN;
+  FaultInjector::instance().arm("simcomm.allreduce", fault);
+  std::vector<MatrixD> partials(2, MatrixD(3, 3, 1.5));
+  comm->allreduce_sum(partials);
+
+  // One corrupted delivery, one resend, correct verified result.
+  EXPECT_TRUE(comm->last_status().is_ok());
+  const CommStats s = comm->stats();
+  EXPECT_EQ(s.retries, 1u);
+  for (const MatrixD& p : partials) {
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      EXPECT_DOUBLE_EQ(p.data()[i], 3.0);
+    }
+  }
+}
+
+// --- The tentpole acceptance: rank-count invariance --------------------------
+
+TEST_F(CommunicatorTest, ScfIsBitIdenticalAcrossRankCountsAndBackends) {
+  const Molecule w = make_water();
+  const BasisSet bs(w, "sto-3g");
+  ScfOptions options;
+
+  for (const char* backend : {"blocked+quantized", "reference"}) {
+    const ExecutionContext ref_ctx = make_context(backend, 1);
+    const ScfResult ref = run_scf(w, bs, options, &ref_ctx);
+    ASSERT_TRUE(ref.converged) << backend;
+
+    for (int ranks : {2, 4, 8}) {
+      const ExecutionContext ctx = make_context(backend, ranks);
+      const ScfResult r = run_scf(w, bs, options, &ctx);
+      // Bit-identical energy and trajectory — EXPECT_EQ on doubles is exact.
+      EXPECT_EQ(r.energy, ref.energy) << backend << " ranks=" << ranks;
+      EXPECT_EQ(r.iterations, ref.iterations)
+          << backend << " ranks=" << ranks;
+      ASSERT_EQ(r.density.size(), ref.density.size());
+      EXPECT_EQ(0, std::memcmp(r.density.data(), ref.density.data(),
+                               r.density.size() * sizeof(double)))
+          << backend << " ranks=" << ranks;
+      // Multi-rank runs charge modeled collective time; the energies above
+      // prove the charge never leaks into the numbers.
+      EXPECT_GT(r.comm_seconds, 0.0) << backend << " ranks=" << ranks;
+      EXPECT_GT(r.comm_bytes, 0u) << backend << " ranks=" << ranks;
+    }
+  }
+}
+
+TEST_F(CommunicatorTest, ExhaustedAllreduceRetryBudgetHardFaultsTheScf) {
+  if (!FaultInjector::compiled_in()) {
+    GTEST_SKIP() << "built with MAKO_FAULT_INJECTION=OFF";
+  }
+  const Molecule w = make_water();
+  const BasisSet bs(w, "sto-3g");
+  const ExecutionContext ctx = make_context("", 2);
+
+  FaultSpec fault;
+  fault.mode = FaultMode::kNaN;
+  fault.max_fires = -1;  // corrupt every delivery attempt
+  FaultInjector::instance().arm("simcomm.allreduce", fault);
+  const ScfResult r = run_scf(w, bs, {}, &ctx);
+  FaultInjector::instance().disarm_all();
+
+  // A partial J is symmetric and finite, so no numeric sentinel fires; the
+  // comm status must carry the fault into the abort path on its own.
+  EXPECT_EQ(r.health, Health::kFault);
+  EXPECT_EQ(r.status.kind(), FaultKind::kCommCorruption);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST_F(CommunicatorTest, CheckpointWrittenUnderOtherTopologyIsRefused) {
+  const std::string path =
+      "./ckpt_comm_test." + std::to_string(::getpid());
+  const Molecule w = make_water();
+  const BasisSet bs(w, "sto-3g");
+
+  ScfOptions write_opt;
+  write_opt.fixed_iterations = 2;
+  write_opt.durability.checkpoint_path = path;
+  const ExecutionContext ctx1 = make_context("", 1);
+  (void)run_scf(w, bs, write_opt, &ctx1);
+
+  // Identical trajectory-shaping options: only the rank topology differs,
+  // so the refusal below is attributable to the topology alone.
+  ScfOptions restore_opt = write_opt;
+  restore_opt.durability.checkpoint_path.clear();
+  restore_opt.durability.restore_path = path;
+  const ExecutionContext ctx4 = make_context("", 4);
+  try {
+    (void)run_scf(w, bs, restore_opt, &ctx4);
+    FAIL() << "expected InputError: rank topology is part of the fingerprint";
+  } catch (const InputError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kCheckpointMismatch);
+  }
+
+  // Same topology restores fine — the refusal above is the mismatch, not
+  // some general breakage of durable multi-rank runs.
+  const ExecutionContext ctx1b = make_context("", 1);
+  EXPECT_NO_THROW((void)run_scf(w, bs, restore_opt, &ctx1b));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mako

@@ -357,7 +357,15 @@ TEST(FockPlanTest, SteadyStateBuildAllocatesNothing) {
   FockOptions options;
   options.engine = EriEngineKind::kMako;
   options.parallel = false;  // the serial path owns the no-alloc contract
-  FockBuilder builder(bs, options);
+
+  // Pin ranks=1 explicitly: the no-alloc contract covers the single-rank
+  // reduction path (a multi-rank context would copy rank partials into the
+  // simulated communicator every build, e.g. under MAKO_RANKS in CI).
+  ExecutionContextOptions ctx_opt;
+  ctx_opt.make_active = false;
+  ctx_opt.ranks = 1;
+  const ExecutionContext ctx(ctx_opt);
+  FockBuilder builder(bs, options, &ctx);
 
   IterationPolicy p = exact_policy();
   p.prune_threshold = 1e-12;  // exercise the early-exit path too
