@@ -26,6 +26,15 @@
 //   --cluster <name>      comm cost-model topology: default | single-node |
 //                         ethernet                          [default]
 //   --quantize            enable QuantMako scheduling
+//   --precision <name>    precision-governance mode: adaptive | fp64 | fp32 |
+//                         tf32 | fp16 (default: $MAKO_PRECISION, else
+//                         adaptive).  fp64 forces exact FP64 everywhere
+//                         (bit-identical across backends); the fixed formats
+//                         pin the quantized storage format and imply
+//                         --quantize
+//   --precision-ladder    dynamic precision ladder: quantized work steps
+//                         FP16 -> TF32 as convergence tightens (or on a
+//                         soft fault), then FP64 for the exact polish
 //   --autotune            enable CompilerMako kernel tuning
 //   --iterations <n>      fixed SCF iteration count (benchmark mode)
 //   --max-iterations <n>  SCF iteration cap                  [60]
@@ -84,6 +93,8 @@ void print_usage() {
       "usage: mako --mol <file.xyz> [--basis NAME] [--xc NAME]\n"
       "       mako --batch <manifest.json> [--jobs K] [--batch-out PATH]\n"
       "            [--engine mako|reference] [--backend NAME] [--quantize]\n"
+      "            [--precision adaptive|fp64|fp32|tf32|fp16]\n"
+      "            [--precision-ladder]\n"
       "            [--autotune] [--ranks N] [--cluster NAME]\n"
       "            [--iterations N] [--max-iterations N] [--convergence EPS]\n"
       "            [--grid coarse|standard|fine] [--charge Q] [--verbose]\n"
@@ -164,6 +175,18 @@ int main(int argc, char** argv) {
       options.cluster = next("--cluster");
     } else if (arg == "--quantize") {
       options.quantization = true;
+    } else if (arg == "--precision") {
+      options.precision = next("--precision");
+      try {
+        // Validate at parse time so a typo is a usage error (exit 2), not a
+        // mid-run exception.
+        (void)mako::parse_precision_mode(options.precision);
+      } catch (const mako::InputError& e) {
+        std::fprintf(stderr, "mako: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--precision-ladder") {
+      options.precision_ladder = true;
     } else if (arg == "--autotune") {
       options.autotune = true;
     } else if (arg == "--iterations") {

@@ -35,6 +35,23 @@ struct StageBreakdown {
   long long gemm_calls = 0;
   long long screen_visited = 0;
   long long screen_pruned_early = 0;
+  // Per-precision quartet routing totals over the run (from the governor's
+  // plans as applied by the Fock routing pass).
+  long long quartets_fp64 = 0;
+  long long quartets_quantized = 0;
+  long long quartets_pruned = 0;
+  long long quartets_fp64_high_l = 0;
+};
+
+/// One governor decision as the run's telemetry reports it.
+struct GovernorDecision {
+  int iteration = 0;
+  std::string reason;
+  std::string precision;
+  bool quantized = false;
+  long long quartets_fp64 = 0;
+  long long quartets_quantized = 0;
+  long long quartets_pruned = 0;
 };
 
 struct Record {
@@ -44,8 +61,12 @@ struct Record {
   std::size_t nbf = 0;
   double t_ref = 0.0;
   double t_mako = 0.0;
+  double t_mako_quant = 0.0;
   StageBreakdown ref_stages;
   StageBreakdown mako_stages;
+  StageBreakdown quant_stages;
+  /// Per-iteration precision decisions of the quantized Mako run.
+  std::vector<GovernorDecision> governor;
 };
 
 StageBreakdown collect_stages() {
@@ -72,16 +93,35 @@ StageBreakdown collect_stages() {
 
 double avg_iteration_seconds(const Molecule& mol, const std::string& basis,
                              EriEngineKind engine, int iterations,
-                             StageBreakdown* stages) {
+                             bool quantize, StageBreakdown* stages,
+                             std::vector<GovernorDecision>* decisions) {
   const BasisSet bs(mol, basis);
   ScfOptions options;
   options.fock.engine = engine;
   options.fixed_iterations = iterations;
+  options.enable_quantization = quantize;
   // Zero the global registry so the collected stage metrics cover exactly
   // this run (in-place reset keeps cached instrument references valid).
   obs::MetricsRegistry::global().reset();
   const ScfResult r = run_scf(mol, bs, options);
   *stages = collect_stages();
+  for (const obs::IterationTelemetry& t : r.telemetry) {
+    stages->quartets_fp64 += t.quartets_fp64;
+    stages->quartets_quantized += t.quartets_quantized;
+    stages->quartets_pruned += t.quartets_pruned;
+    stages->quartets_fp64_high_l += t.quartets_fp64_high_l;
+    if (decisions != nullptr) {
+      GovernorDecision d;
+      d.iteration = t.iteration;
+      d.reason = t.reason;
+      d.precision = t.quantized_allowed ? t.precision : "fp64";
+      d.quantized = t.quantized_allowed;
+      d.quartets_fp64 = t.quartets_fp64;
+      d.quartets_quantized = t.quartets_quantized;
+      d.quartets_pruned = t.quartets_pruned;
+      decisions->push_back(std::move(d));
+    }
+  }
   return r.avg_iteration_seconds();
 }
 
@@ -94,12 +134,15 @@ Record run_system(const char* name, const Molecule& mol,
   rec.atoms = mol.size();
   rec.nbf = bs.nbf();
   rec.t_ref = avg_iteration_seconds(mol, basis, EriEngineKind::kReference, 2,
-                                    &rec.ref_stages);
+                                    false, &rec.ref_stages, nullptr);
   rec.t_mako = avg_iteration_seconds(mol, basis, EriEngineKind::kMako, 2,
-                                     &rec.mako_stages);
-  std::printf("%-14s %-10s %6zu %6zu %13.3f %13.3f %8.2fx\n", name,
+                                     false, &rec.mako_stages, nullptr);
+  rec.t_mako_quant =
+      avg_iteration_seconds(mol, basis, EriEngineKind::kMako, 2, true,
+                            &rec.quant_stages, &rec.governor);
+  std::printf("%-14s %-10s %6zu %6zu %13.3f %13.3f %13.3f %8.2fx\n", name,
               basis.c_str(), rec.atoms, rec.nbf, rec.t_ref, rec.t_mako,
-              rec.t_ref / rec.t_mako);
+              rec.t_mako_quant, rec.t_ref / rec.t_mako);
   return rec;
 }
 
@@ -109,9 +152,31 @@ void write_stages_json(std::FILE* f, const char* label,
                "     \"%s\": {\"plan_build_s\": %.6f, \"route_s\": %.6f, "
                "\"eri_s\": %.6f, \"digest_s\": %.6f, "
                "\"diag_s\": %.6f, \"gemm_calls\": %lld, "
-               "\"screen_visited\": %lld, \"screen_pruned_early\": %lld}%s\n",
+               "\"screen_visited\": %lld, \"screen_pruned_early\": %lld, "
+               "\"quartets_fp64\": %lld, \"quartets_quantized\": %lld, "
+               "\"quartets_pruned\": %lld, "
+               "\"quartets_fp64_high_l\": %lld}%s\n",
                label, s.plan_build_s, s.route_s, s.eri_s, s.digest_s, s.diag_s,
-               s.gemm_calls, s.screen_visited, s.screen_pruned_early, trailer);
+               s.gemm_calls, s.screen_visited, s.screen_pruned_early,
+               s.quartets_fp64, s.quartets_quantized, s.quartets_pruned,
+               s.quartets_fp64_high_l, trailer);
+}
+
+void write_governor_json(std::FILE* f,
+                         const std::vector<GovernorDecision>& decisions) {
+  std::fprintf(f, "     \"governor\": [");
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    const GovernorDecision& d = decisions[i];
+    std::fprintf(f,
+                 "%s\n      {\"iteration\": %d, \"reason\": \"%s\", "
+                 "\"precision\": \"%s\", \"quantized\": %s, "
+                 "\"quartets_fp64\": %lld, \"quartets_quantized\": %lld, "
+                 "\"quartets_pruned\": %lld}",
+                 i == 0 ? "" : ",", d.iteration, d.reason.c_str(),
+                 d.precision.c_str(), d.quantized ? "true" : "false",
+                 d.quartets_fp64, d.quartets_quantized, d.quartets_pruned);
+  }
+  std::fprintf(f, decisions.empty() ? "]\n" : "\n     ]\n");
 }
 
 void write_json(const char* path, const std::vector<Record>& records) {
@@ -129,12 +194,15 @@ void write_json(const char* path, const std::vector<Record>& records) {
         f,
         "    {\"system\": \"%s\", \"basis\": \"%s\", \"atoms\": %zu, "
         "\"nbf\": %zu, \"t_ref_s\": %.6f, \"t_mako_s\": %.6f, "
-        "\"speedup\": %.4f,\n     \"stages\": {\n",
+        "\"t_mako_quant_s\": %.6f, \"speedup\": %.4f,\n     \"stages\": {\n",
         r.system.c_str(), r.basis.c_str(), r.atoms, r.nbf, r.t_ref, r.t_mako,
-        r.t_ref / r.t_mako);
+        r.t_mako_quant, r.t_ref / r.t_mako);
     write_stages_json(f, "ref", r.ref_stages, ",");
-    write_stages_json(f, "mako", r.mako_stages, "");
-    std::fprintf(f, "     }}%s\n", i + 1 < records.size() ? "," : "");
+    write_stages_json(f, "mako", r.mako_stages, ",");
+    write_stages_json(f, "mako_quant", r.quant_stages, "");
+    std::fprintf(f, "     },\n");
+    write_governor_json(f, r.governor);
+    std::fprintf(f, "    }%s\n", i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -159,8 +227,9 @@ int main(int argc, char** argv) {
 
   std::printf("[Figure 8] End-to-end average SCF iteration time "
               "(excluding the first iteration)\n");
-  std::printf("%-14s %-10s %6s %6s %13s %13s %8s\n", "system", "basis",
-              "atoms", "nbf", "t[ref] s", "t[mako] s", "speedup");
+  std::printf("%-14s %-10s %6s %6s %13s %13s %13s %8s\n", "system", "basis",
+              "atoms", "nbf", "t[ref] s", "t[mako] s", "t[mako+q] s",
+              "speedup");
 
   std::vector<Record> records;
 

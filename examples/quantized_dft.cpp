@@ -20,7 +20,7 @@ int main() {
 
   mako::ScfOptions quant = exact;
   quant.enable_quantization = true;
-  quant.scheduler.quant_precision = mako::Precision::kFP16;
+  quant.precision.quant_precision = mako::Precision::kFP16;
 
   std::printf("B3LYP/6-31G water, FP64 reference SCF...\n");
   const mako::ScfResult r_exact = mako::run_scf(mol, basis, exact);

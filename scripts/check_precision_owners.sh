@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Ownership check: every precision decision is constructed in src/precision/
+# (the PrecisionGovernor); everything else consumes IterationPrecisionPlans.
+# Wired into ctest as `check_precision_owners`.
+#
+# Enforced rules:
+#   1. The pre-governor scheduler surface (ConvergenceAwareScheduler,
+#      SchedulerConfig, policy_for_error, quantmako/scheduler includes) is
+#      gone for good — mentions survive only inside src/precision/ itself.
+#   2. PrecisionGovernor is constructed only by src/precision/ and by the
+#      ExecutionContext factory (make_governor).  Library code elsewhere
+#      gets governors from the context; tests may build their own.
+#   3. No library code fabricates a plan: brace-initializing
+#      IterationPrecisionPlan/IterationPolicy outside src/precision/ is a
+#      violation (declare-and-receive from the governor is fine).
+#   4. No library code mutates a received plan's decision fields
+#      (policy.allow_quantized = ..., policy.fp64_threshold = ..., etc.).
+set -u
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+report() {
+  echo "error: $1" >&2
+  echo "$2" >&2
+  fail=1
+}
+
+# ---- 1. dead scheduler surface ---------------------------------------------
+violations=$(grep -rn --include='*.cpp' --include='*.hpp' -E \
+  'ConvergenceAwareScheduler|SchedulerConfig|policy_for_error|quantmako/scheduler' \
+  src tests bench apps examples 2>/dev/null |
+  grep -v '^src/precision/' || true)
+if [ -n "${violations}" ]; then
+  report "the pre-governor scheduler surface must not come back; use PrecisionGovernor (src/precision/):" \
+         "${violations}"
+fi
+
+# ---- 2. governor construction sites ----------------------------------------
+violations=$(grep -rn --include='*.cpp' --include='*.hpp' \
+  'PrecisionGovernor(' src 2>/dev/null |
+  grep -v '^src/precision/' |
+  grep -v '^src/core/execution_context\.hpp:' || true)
+if [ -n "${violations}" ]; then
+  report "PrecisionGovernor is constructed only by src/precision/ and ExecutionContext::make_governor:" \
+         "${violations}"
+fi
+
+# ---- 3. ad-hoc plan fabrication --------------------------------------------
+violations=$(grep -rn --include='*.cpp' --include='*.hpp' -E \
+  'Iteration(PrecisionPlan|Policy) *\{' src 2>/dev/null |
+  grep -v '^src/precision/' || true)
+if [ -n "${violations}" ]; then
+  report "plans are emitted by the governor, never brace-initialized in library code:" \
+         "${violations}"
+fi
+
+# ---- 4. plan decision-field writes -----------------------------------------
+violations=$(grep -rn --include='*.cpp' --include='*.hpp' -E \
+  'policy\.(allow_quantized|fp64_threshold|prune_threshold|quant_precision|quantized_max_l|reason) *=' \
+  src 2>/dev/null |
+  grep -v '^src/precision/' || true)
+if [ -n "${violations}" ]; then
+  report "received plans are immutable; decisions belong to the governor:" \
+         "${violations}"
+fi
+
+if [ "${fail}" -ne 0 ]; then
+  exit 1
+fi
+
+echo "ok: precision decisions are owned by src/precision/ alone"

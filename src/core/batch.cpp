@@ -84,6 +84,12 @@ void apply_manifest_keys(const json::Value& obj, BatchJobSpec& spec) {
       }
     } else if (key == "quantize") {
       spec.options.quantization = value.as_bool();
+    } else if (key == "precision") {
+      // Validated eagerly so a typo fails at manifest parse, not mid-batch.
+      spec.options.precision = value.as_string();
+      (void)parse_precision_mode(spec.options.precision);
+    } else if (key == "precision_ladder") {
+      spec.options.precision_ladder = value.as_bool();
     } else if (key == "autotune") {
       spec.options.autotune = value.as_bool();
     } else if (key == "grid") {

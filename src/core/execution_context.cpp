@@ -7,7 +7,7 @@ namespace mako {
 ExecutionContext::ExecutionContext(ExecutionContextOptions options)
     : backend_(&GemmBackendRegistry::instance().resolve(options.backend)),
       device_(options.device),
-      scheduler_(options.scheduler),
+      precision_(options.precision),
       enable_quantization_(options.enable_quantization),
       pool_(options.pool != nullptr ? options.pool : &ThreadPool::global()),
       plans_(options.plans != nullptr ? options.plans
@@ -35,7 +35,7 @@ ExecutionContext::ExecutionContext(const ExecutionContext& parent,
                                    CancelToken& cancel)
     : backend_(parent.backend_),
       device_(parent.device_),
-      scheduler_(parent.scheduler_),
+      precision_(parent.precision_),
       enable_quantization_(parent.enable_quantization_),
       pool_(parent.pool_),
       plans_(parent.plans_),

@@ -19,7 +19,8 @@
 //                          │                global by default)
 //                          ├─ plans     -> EriPlanCache       (borrowed;
 //                          │                process-wide by default)
-//                          ├─ scheduler -> SchedulerConfig    (by value)
+//                          ├─ precision -> PrecisionConfig    (by value; the
+//                          │                governor factory's input)
 //                          ├─ faults    -> FaultInjector      (process-wide)
 //                          ├─ metrics   -> obs::MetricsRegistry (process-wide)
 //                          ├─ tracer    -> obs::Tracer        (process-wide)
@@ -47,7 +48,7 @@
 #include "parallel/communicator.hpp"
 #include "parallel/simcomm.hpp"
 #include "parallel/thread_pool.hpp"
-#include "quantmako/scheduler.hpp"
+#include "precision/governor.hpp"
 #include "robust/cancel.hpp"
 #include "robust/fault_injector.hpp"
 
@@ -61,8 +62,9 @@ struct ExecutionContextOptions {
   /// Unknown names throw InputError from the constructor.
   std::string backend;
   DeviceSpec device = DeviceSpec::a100();
-  /// QuantMako iteration-level schedule parameters.
-  SchedulerConfig scheduler{};
+  /// Precision-governance configuration (mode, schedule thresholds, ladder,
+  /// per-L cap) the context's governors are built from.
+  PrecisionConfig precision{};
   /// Master switch for QuantMako scheduling (MakoOptions::quantization).
   bool enable_quantization = false;
   /// Worker pool; nullptr borrows ThreadPool::global().
@@ -144,22 +146,37 @@ class ExecutionContext {
   [[nodiscard]] ThreadPool& pool() const noexcept { return *pool_; }
   [[nodiscard]] EriPlanCache& plans() const noexcept { return *plans_; }
 
-  [[nodiscard]] const SchedulerConfig& scheduler_config() const noexcept {
-    return scheduler_;
+  [[nodiscard]] const PrecisionConfig& precision_config() const noexcept {
+    return precision_;
   }
   [[nodiscard]] bool quantization_enabled() const noexcept {
     return enable_quantization_;
   }
   /// True when quantized kernels may actually run: quantization is enabled
   /// AND the backend has a reduced-precision datapath.  On backends without
-  /// the capability the scheduler must not route quantized work (it would
+  /// the capability the governor must not route quantized work (it would
   /// silently execute at FP64 and waste the pruning-threshold slack).
   [[nodiscard]] bool quantized_execution_allowed() const noexcept {
     return enable_quantization_ && backend_->capabilities().quantized;
   }
-  /// Per-iteration precision scheduler over this context's config.
-  [[nodiscard]] ConvergenceAwareScheduler make_scheduler() const {
-    return ConvergenceAwareScheduler(scheduler_);
+  /// Governor factory — the single construction point of precision
+  /// authority.  The context supplies the backend's capabilities (so
+  /// capability degradation is counted and carries a reason); the caller
+  /// supplies the run's config and fallback prune threshold, because a
+  /// governor is stateful per run (latches, ladder stage) while the context
+  /// is immutable and may be shared by concurrent batch jobs.
+  [[nodiscard]] PrecisionGovernor make_governor(
+      const PrecisionConfig& config, bool enable_quantization,
+      double fallback_prune_threshold) const {
+    return PrecisionGovernor(config, enable_quantization,
+                             backend_->capabilities(), backend_->name(),
+                             fallback_prune_threshold);
+  }
+  /// Governor over the context's own configuration (engine-owned runs).
+  [[nodiscard]] PrecisionGovernor make_governor(
+      double fallback_prune_threshold) const {
+    return make_governor(precision_, enable_quantization_,
+                         fallback_prune_threshold);
   }
 
   /// Fault-injection hooks (process-wide registry; sites fire only when a
@@ -200,7 +217,7 @@ class ExecutionContext {
  private:
   const GemmBackend* backend_;  ///< registry-owned, never null
   DeviceSpec device_;
-  SchedulerConfig scheduler_;
+  PrecisionConfig precision_;
   bool enable_quantization_;
   ThreadPool* pool_;      ///< borrowed, never null
   EriPlanCache* plans_;   ///< borrowed, never null

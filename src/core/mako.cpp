@@ -57,6 +57,10 @@ MakoEngine::MakoEngine(MakoOptions options)
       context_(ExecutionContextOptions{
           .backend = options_.backend,
           .device = options_.device,
+          .precision =
+              PrecisionConfig{
+                  .mode = resolve_precision_mode(options_.precision),
+                  .use_precision_ladder = options_.precision_ladder},
           .enable_quantization = options_.quantization,
           .ranks = options_.ranks,
           .cluster = options_.cluster}),
@@ -72,6 +76,12 @@ ScfOptions scf_options_from(const MakoOptions& options) {
   scf.fixed_iterations = options.fixed_iterations;
   scf.energy_convergence = options.convergence;
   scf.enable_quantization = options.quantization;
+  // The single precision-resolution point: mode names (and the
+  // MAKO_PRECISION fallback for "") are parsed here, so engine and batch
+  // runs see identical governance and direct run_scf callers are immune to
+  // the environment.  Unknown names throw InputError (kInvalidInput).
+  scf.precision.mode = resolve_precision_mode(options.precision);
+  scf.precision.use_precision_ladder = options.precision_ladder;
   scf.durability = options.durability;
   scf.robust.watchdog_seconds = options.watchdog_seconds;
   return scf;

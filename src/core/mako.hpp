@@ -39,6 +39,18 @@ struct MakoOptions {
   /// "default", "single-node", "ethernet"; "" means "default".
   std::string cluster;
   bool quantization = false;       ///< QuantMako scheduling
+  /// Precision-governance mode ("adaptive", "fp64", "fp32", "tf32", "fp16");
+  /// "" resolves MAKO_PRECISION, then "adaptive".  "adaptive" follows the
+  /// convergence-aware schedule (quantized work only when `quantization` is
+  /// on); "fp64" forces exact FP64 everywhere (bit-identical across
+  /// backends); the fixed formats pin the quantized-kernel storage format
+  /// and imply quantization.  Parsed by scf_options_from; an unknown name
+  /// throws InputError (FaultKind::kInvalidInput).
+  std::string precision;
+  /// Enable the dynamic precision ladder (FP16 -> TF32 -> FP64): the
+  /// governor steps the quantized format up to TF32 when convergence error
+  /// drops below the ladder switch threshold or a soft fault fires.
+  bool precision_ladder = false;
   bool autotune = false;           ///< CompilerMako per-class tuning
   GridSpec grid = GridSpec::coarse();
   int max_iterations = 60;

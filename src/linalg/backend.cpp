@@ -20,7 +20,9 @@ GemmBackend::GemmBackend(std::string name, GemmCapabilities caps)
     : name_(std::move(name)),
       caps_(std::move(caps)),
       dispatches_(&obs::MetricsRegistry::global().counter("gemm.dispatch." +
-                                                          name_)) {}
+                                                          name_)),
+      degrades_(&obs::MetricsRegistry::global().counter(
+          "precision.capability_degradations")) {}
 
 GemmBackend::~GemmBackend() = default;
 
@@ -75,6 +77,11 @@ void GemmBackend::do_quantized(const double* a, const double* b, double* c,
                                const GemmConfig& cfg) const {
   if (!caps_.quantized || cfg.precision == Precision::kFP64) {
     // Documented degrade: no reduced-precision datapath -> exact FP64.
+    // Count only true capability degrades (a caller *asking* for kFP64 via
+    // cfg is a routing decision, not a degradation).
+    if (!caps_.quantized && cfg.precision != Precision::kFP64) {
+      degrades_->add();
+    }
     do_fp64(a, false, b, false, c, m, n, k, alpha, beta, cfg);
     return;
   }

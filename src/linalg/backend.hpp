@@ -175,6 +175,10 @@ class GemmBackend {
   std::string name_;
   GemmCapabilities caps_;
   obs::Counter* dispatches_;  ///< "gemm.dispatch.<name>" (never null)
+  /// "precision.capability_degradations": bumped each time a quantized
+  /// dispatch degrades to FP64 because the backend lacks the capability —
+  /// the observable form of the "documented degrade" above (never null).
+  obs::Counter* degrades_;
 };
 
 /// Process-wide backend registry.  The three built-ins ("reference",

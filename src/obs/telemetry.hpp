@@ -27,6 +27,7 @@ struct IterationTelemetry {
 
   // Precision policy of the successful Fock build attempt.
   const char* precision = "fp64";  ///< quantized-kernel format name
+  const char* reason = "";         ///< governor decision (PlanReason name)
   bool quantized_allowed = false;  ///< policy.allow_quantized
   double fp64_threshold = 0.0;     ///< weighted bound above which FP64 runs
   double prune_threshold = 0.0;    ///< weighted bound below which we skip
@@ -35,6 +36,9 @@ struct IterationTelemetry {
   std::int64_t quartets_fp64 = 0;
   std::int64_t quartets_quantized = 0;
   std::int64_t quartets_pruned = 0;
+  /// Quartets demoted from the quantized route to FP64 by the governor's
+  /// per-angular-momentum cap (quantized_max_l); included in quartets_fp64.
+  std::int64_t quartets_fp64_high_l = 0;
 
   // Per-stage split of the Fock build: eri/digest are summed per-shard CPU
   // seconds; route is the wall-clock of the dmax + routing pass.

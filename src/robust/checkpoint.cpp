@@ -15,7 +15,8 @@ namespace mako {
 namespace {
 
 constexpr char kMagic[8] = {'M', 'A', 'K', 'O', 'C', 'K', 'P', 'T'};
-constexpr std::uint32_t kFormatVersion = 1;
+// Version 2 appended the precision-governor ladder stage to META.
+constexpr std::uint32_t kFormatVersion = 2;
 
 /// Section tags (fourcc, host-endian u32).
 constexpr std::uint32_t fourcc(const char (&s)[5]) {
@@ -197,6 +198,7 @@ Status save_checkpoint(const std::string& path,
     s.f64(state.e_coulomb);
     s.f64(state.e_exact_exchange);
     s.f64(state.e_xc);
+    s.i32(state.governor_ladder_stage);
   });
   const std::pair<std::uint32_t, const MatrixD*> mats[] = {
       {kTagDensity, &state.density},  {kTagFock, &state.fock},
@@ -406,6 +408,7 @@ ScfCheckpointState load_checkpoint(const std::string& path,
     state.e_coulomb = s.f64();
     state.e_exact_exchange = s.f64();
     state.e_xc = s.f64();
+    state.governor_ladder_stage = s.i32();
   }
   const std::pair<std::uint32_t, MatrixD*> mats[] = {
       {kTagDensity, &state.density},  {kTagFock, &state.fock},

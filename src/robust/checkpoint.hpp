@@ -75,6 +75,10 @@ struct ScfCheckpointState {
   std::uint8_t direct_diag = 0;
   std::uint8_t full_rebuild = 0;
   std::int32_t cooldown_until = 0;
+  /// PrecisionGovernor ladder stage (TF32 step of the dynamic-precision
+  /// ladder); together with fp64_latched and force_exact this is the full
+  /// GovernorState, so a restore resumes the exact policy trajectory.
+  std::int32_t governor_ladder_stage = 0;
 
   // --- soft-detector state -----------------------------------------------
   std::int32_t rise_streak = 0;

@@ -106,6 +106,7 @@ struct FockBuilder::Scratch {
     std::int64_t fp64 = 0;
     std::int64_t quantized = 0;
     std::int64_t pruned = 0;
+    std::int64_t fp64_high_l = 0;
     std::int64_t visited = 0;
     std::int64_t pruned_early = 0;
   };
@@ -271,7 +272,7 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
       bk.refs.clear();
       bk.weights.clear();
     }
-    rs.fp64 = rs.quantized = rs.pruned = 0;
+    rs.fp64 = rs.quantized = rs.pruned = rs.fp64_high_l = 0;
     rs.visited = rs.pruned_early = 0;
 
     const std::size_t lo = slice_rows[s];
@@ -324,7 +325,19 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
           ++rs.pruned;
           continue;
         }
-        const bool quantized = route == IntegralClass::kQuantized;
+        bool quantized = route == IntegralClass::kQuantized;
+        // Per-angular-momentum override from the governor's plan: high-L
+        // quartets are the most rounding-sensitive, so a plan may pin them
+        // to FP64 regardless of their weighted bound.
+        if (quantized && policy.quantized_max_l >= 0) {
+          const int lmax =
+              std::max(std::max(bra->s1->l, bra->s2->l),
+                       std::max(ket->s1->l, ket->s2->l));
+          if (lmax > policy.quantized_max_l) {
+            quantized = false;
+            ++rs.fp64_high_l;
+          }
+        }
         if (quantized) {
           ++rs.quantized;
         } else {
@@ -371,6 +384,7 @@ FockStats FockBuilder::build_jk(const MatrixD& density,
     stats.quartets_fp64 += rs.fp64;
     stats.quartets_quantized += rs.quantized;
     stats.quartets_pruned += rs.pruned;
+    stats.quartets_fp64_high_l += rs.fp64_high_l;
     stats.screen_visited += rs.visited;
     stats.screen_pruned_early += rs.pruned_early;
   }

@@ -25,7 +25,7 @@
 #include "integrals/schwarz.hpp"
 #include "kernelmako/batched_eri.hpp"
 #include "linalg/matrix.hpp"
-#include "quantmako/scheduler.hpp"
+#include "precision/plan.hpp"
 #include "robust/status.hpp"
 #include "scf/fock_plan.hpp"
 
@@ -63,6 +63,10 @@ struct FockStats {
   std::int64_t quartets_fp64 = 0;
   std::int64_t quartets_quantized = 0;
   std::int64_t quartets_pruned = 0;
+  /// Quartets the plan's per-angular-momentum cap demoted from the
+  /// quantized band to FP64 (counted into quartets_fp64 as well); 0 when
+  /// the plan carries no cap (quantized_max_l < 0).
+  std::int64_t quartets_fp64_high_l = 0;
   /// Quartets whose density-weighted bound was actually evaluated.
   std::int64_t screen_visited = 0;
   /// Quartets pruned in bulk by the sorted-pair early exit without ever

@@ -40,10 +40,12 @@ MatrixD build_density(const MatrixD& c, std::size_t nocc) {
 }
 
 /// Runtime state of the staged recovery ladder (see ResilienceOptions).
+/// Rung 3 (FP64 latch) lives in the PrecisionGovernor, not here: the ladder
+/// *requests* precision changes through the governor rather than owning an
+/// out-of-band latch.
 struct LadderState {
   int rung = 0;
   bool damping = false;       ///< rung 2 active
-  bool fp64 = false;          ///< rung 3 latched
   bool direct_diag = false;   ///< rung 4 latched
   bool full_rebuild = false;  ///< rung 5 latched
   /// Soft detectors stay quiet until this iteration, giving each escalation
@@ -89,6 +91,14 @@ std::uint64_t scf_fingerprint(const Molecule& mol, const BasisSet& basis,
       options.robust.stagnation_window,
       options.robust.max_retries_per_iteration,
       static_cast<std::int32_t>(options.subspace_max_iter),
+      // Precision governance: mode, kernel format, ladder, and per-L cap all
+      // shape the trajectory — a checkpoint written under one --precision
+      // must be refused under another (kCheckpointMismatch), never resumed
+      // with silently different precision semantics.
+      static_cast<std::int32_t>(options.precision.mode),
+      static_cast<std::int32_t>(options.precision.quant_precision),
+      options.precision.use_precision_ladder ? 1 : 0,
+      options.precision.quantized_max_l,
       // Rank topology: results are bit-identical across rank counts, but
       // comm accounting and failure behavior are not — a checkpoint written
       // under one topology must be refused under another rather than
@@ -102,7 +112,11 @@ std::uint64_t scf_fingerprint(const Molecule& mol, const BasisSet& basis,
       options.subspace_tol,          options.robust.divergence_tol,
       options.robust.stagnation_factor, options.robust.damping_factor,
       options.robust.level_shift,    options.robust.symmetry_tol,
-      options.robust.ortho_tol,
+      options.robust.ortho_tol,      options.precision.start_fp64_threshold,
+      options.precision.end_fp64_threshold,
+      options.precision.prune_threshold,
+      options.precision.exact_switch_error,
+      options.precision.ladder_switch_error,
   };
   fnv1a(h, doubles, sizeof doubles);
   return h;
@@ -188,20 +202,16 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
 
   // Fock builder over the chosen ERI engine.
   FockBuilder fock_builder(basis, options.fock, &exec);
-  ConvergenceAwareScheduler scheduler(options.scheduler);
   Diis diis;
 
-  // Quantized scheduling requires a backend with a reduced-precision
-  // datapath; on capability-less backends (e.g. "reference") the schedule
-  // degrades to pure FP64 rather than silently running quantized math at
-  // full precision with loosened prune thresholds.
-  const bool quantization_available =
-      options.enable_quantization && be->capabilities().quantized;
-  if (options.enable_quantization && !quantization_available) {
-    log_info("run_scf: backend '%s' has no quantized datapath; "
-             "convergence-aware precision scheduling disabled",
-             be->name().c_str());
-  }
+  // The run's precision authority: every per-iteration plan — thresholds,
+  // kernel format, allow_quantized verdict, per-L cap — comes from here.
+  // Capability degradation (quantization requested on a backend without a
+  // reduced-precision datapath) is counted and carries a reason; the
+  // governor then plans pure FP64 rather than silently running quantized
+  // math at full precision with loosened prune thresholds.
+  PrecisionGovernor governor = exec.make_governor(
+      options.precision, options.enable_quantization, options.prune_threshold);
 
   const int niter = (options.fixed_iterations > 0) ? options.fixed_iterations
                                                    : options.max_iterations;
@@ -228,8 +238,8 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
   double last_error = 1.0;
   // Once the SCF meets its thresholds under quantized kernels, one final
   // pure-FP64 iteration polishes the result (the endpoint of the paper's
-  // convergence-aware schedule: FP64-level accuracy at convergence).
-  bool force_exact = false;
+  // convergence-aware schedule: FP64-level accuracy at convergence); the
+  // governor tracks this as its exact-final latch.
   // Incremental-Fock state.
   MatrixD d_prev, j_prev, k_prev;
   // Recovery-ladder and soft-detector state.
@@ -252,7 +262,8 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
     result.resumed_from = ck.next_iteration;
     last_energy = ck.last_energy;
     last_error = ck.last_error;
-    force_exact = ck.force_exact != 0;
+    governor.restore(GovernorState{ck.governor_ladder_stage, ck.fp64_latched,
+                                   ck.force_exact});
     result.energy = ck.energy;
     result.e_one_electron = ck.e_one_electron;
     result.e_coulomb = ck.e_coulomb;
@@ -264,11 +275,10 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
     result.orbital_energies = ck.orbital_energies;
     ladder.rung = ck.ladder_rung;
     ladder.damping = ck.damping != 0;
-    ladder.fp64 = ck.fp64_latched != 0;
     ladder.direct_diag = ck.direct_diag != 0;
     ladder.full_rebuild = ck.full_rebuild != 0;
     ladder.cooldown_until = ck.cooldown_until;
-    result.fp64_latched = ladder.fp64;
+    result.fp64_latched = governor.fp64_latched();
     result.diagonalizer_fallback = ladder.direct_diag;
     result.full_rebuild_latched = ladder.full_rebuild;
     rise_streak = ck.rise_streak;
@@ -328,7 +338,7 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
     ck.next_iteration = next_iter;
     ck.last_energy = last_energy;
     ck.last_error = last_error;
-    ck.force_exact = force_exact ? 1 : 0;
+    ck.force_exact = governor.exact_final() ? 1 : 0;
     ck.converged = conv ? 1 : 0;
     ck.energy = result.energy;
     ck.e_nuclear = result.e_nuclear;
@@ -342,10 +352,11 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
     ck.orbital_energies = result.orbital_energies;
     ck.ladder_rung = ladder.rung;
     ck.damping = ladder.damping ? 1 : 0;
-    ck.fp64_latched = ladder.fp64 ? 1 : 0;
+    ck.fp64_latched = governor.fp64_latched() ? 1 : 0;
     ck.direct_diag = ladder.direct_diag ? 1 : 0;
     ck.full_rebuild = ladder.full_rebuild ? 1 : 0;
     ck.cooldown_until = ladder.cooldown_until;
+    ck.governor_ladder_stage = governor.state().ladder_stage;
     ck.rise_streak = rise_streak;
     ck.err_hist.assign(err_hist.begin(), err_hist.end());
     ck.prev_y_occ = prev_y_occ;
@@ -400,12 +411,14 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
       t.seconds = record.seconds;
       t.precision = policy.allow_quantized ? to_string(policy.quant_precision)
                                            : "fp64";
+      t.reason = to_string(policy.reason);
       t.quantized_allowed = policy.allow_quantized;
       t.fp64_threshold = policy.fp64_threshold;
       t.prune_threshold = policy.prune_threshold;
       t.quartets_fp64 = fs.quartets_fp64;
       t.quartets_quantized = fs.quartets_quantized;
       t.quartets_pruned = fs.quartets_pruned;
+      t.quartets_fp64_high_l = fs.quartets_fp64_high_l;
       t.eri_seconds = fs.eri_seconds;
       t.digest_seconds = fs.digest_seconds;
       t.route_seconds = fs.route_seconds;
@@ -423,6 +436,10 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
     auto escalate = [&](FaultKind fault, int target,
                         const std::string& detail) {
       if (!robust.recovery) return;
+      // Health-sentinel feedback to the precision authority: with the TF32
+      // ladder active, divergence/oscillation advances the format step early
+      // (noisy kernels are the first suspect); otherwise a no-op.
+      governor.observe_fault(fault);
       target = std::min(target, 5);
       while (ladder.rung < target) {
         ++ladder.rung;
@@ -437,7 +454,9 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
             action = RecoveryAction::kDamping;
             break;
           case 3:
-            ladder.fp64 = true;
+            // Rung 3 requests FP64 through the governor — the SCF loop never
+            // mutates precision state directly.
+            governor.latch_fp64();
             result.fp64_latched = true;
             action = RecoveryAction::kPrecisionEscalation;
             break;
@@ -467,20 +486,14 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
     bool built_ok = false;
     for (int attempt = 0; attempt <= robust.max_retries_per_iteration;
          ++attempt) {
-      // Precision policy for this attempt (QuantMako scheduling, unless the
-      // precision-escalation rung latched FP64).
-      if (quantization_available && !force_exact && !ladder.fp64) {
-        policy = scheduler.policy_for_error(iter == 0 ? 1.0 : last_error);
-      } else {
-        policy = IterationPolicy{};
-        policy.allow_quantized = false;
-        policy.fp64_threshold = 0.0;
-        policy.prune_threshold = options.prune_threshold;
-      }
+      // Precision plan for this attempt.  The governor folds in everything
+      // that used to be scattered: the convergence-aware schedule, the
+      // capability gate, the rung-3 FP64 latch, and the exact-final polish.
+      policy = governor.plan_for_iteration(iter, iter == 0 ? 1.0 : last_error);
 
       const std::uint64_t domain_before = domain_fault_count();
       const bool do_incremental =
-          options.incremental_fock && iter > 0 && !force_exact &&
+          options.incremental_fock && iter > 0 && !governor.exact_final() &&
           !force_full_this_iter &&
           (iter % std::max(options.incremental_rebuild_period, 1) != 0);
       if (do_incremental) {
@@ -798,9 +811,9 @@ ScfResult run_scf(const Molecule& mol, const BasisSet& basis,
     if (options.fixed_iterations <= 0 && iter > 0 &&
         std::fabs(energy - last_energy) < options.energy_convergence &&
         last_error < options.diis_convergence) {
-      if (record.quartets_quantized > 0 && !force_exact) {
+      if (record.quartets_quantized > 0 && !governor.exact_final()) {
         // Converged on quantized kernels: re-run the final iteration exact.
-        force_exact = true;
+        governor.request_exact_final();
       } else {
         converged_now = true;
         result.converged = true;

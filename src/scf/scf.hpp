@@ -11,7 +11,7 @@
 
 #include "chem/molecule.hpp"
 #include "obs/telemetry.hpp"
-#include "quantmako/scheduler.hpp"
+#include "precision/governor.hpp"
 #include "robust/status.hpp"
 #include "scf/fock.hpp"
 #include "scf/grid.hpp"
@@ -100,7 +100,10 @@ struct ScfOptions {
   double diis_convergence = 1e-6;       ///< max |FDS - SDF|
   bool use_diis = true;
   bool enable_quantization = false;     ///< QuantMako scheduling on/off
-  SchedulerConfig scheduler{};
+  /// Precision-governance configuration: mode, convergence-aware schedule
+  /// thresholds, TF32 ladder, per-angular-momentum cap.  The run's
+  /// PrecisionGovernor is built from this via ExecutionContext::make_governor.
+  PrecisionConfig precision{};
   /// >0: run exactly this many iterations with no convergence test
   /// (benchmark mode, matching the paper's fixed-iteration timing).
   int fixed_iterations = 0;

@@ -16,6 +16,7 @@
 
 #include "basis/basis_set.hpp"
 #include "chem/builders.hpp"
+#include "core/execution_context.hpp"
 #include "robust/checkpoint.hpp"
 #include "robust/status.hpp"
 #include "scf/scf.hpp"
@@ -86,6 +87,7 @@ TEST_F(CheckpointTest, RoundTripPreservesEveryField) {
   s.direct_diag = 0;
   s.full_rebuild = 1;
   s.cooldown_until = 21;
+  s.governor_ladder_stage = 1;
   s.rise_streak = 2;
   s.err_hist = VectorD(5, 1e-3);
   s.prev_y_occ = filled(7, 5, 0.0625);
@@ -128,6 +130,7 @@ TEST_F(CheckpointTest, RoundTripPreservesEveryField) {
   EXPECT_EQ(r.direct_diag, s.direct_diag);
   EXPECT_EQ(r.full_rebuild, s.full_rebuild);
   EXPECT_EQ(r.cooldown_until, s.cooldown_until);
+  EXPECT_EQ(r.governor_ladder_stage, s.governor_ladder_stage);
   EXPECT_EQ(r.rise_streak, s.rise_streak);
   ASSERT_EQ(r.err_hist.size(), s.err_hist.size());
   expect_bitwise_equal(r.prev_y_occ, s.prev_y_occ);
@@ -310,6 +313,88 @@ TEST_F(CheckpointTest, ResumeIsBitIdenticalWithIncrementalFock) {
   EXPECT_EQ(resumed.resumed_from, 3);
   EXPECT_EQ(resumed.energy, full.energy);
   expect_bitwise_equal(resumed.density, full.density);
+}
+
+/// Mid-ladder interruption: the run is stopped after the precision ladder's
+/// TF32 step latched, and the resumed run must continue with non-default
+/// governor state — same TF32 kernels, same trajectory, bit for bit.
+TEST_F(CheckpointTest, ResumeIsBitIdenticalMidPrecisionLadder) {
+  if (!ExecutionContext::process().backend().capabilities().quantized) {
+    GTEST_SKIP() << "ambient backend has no quantized datapath; the ladder "
+                    "never steps (governance degrades to pure FP64)";
+  }
+  const Molecule w = make_water();
+  const BasisSet bs(w, "sto-3g");
+  ScfOptions base;
+  base.enable_quantization = true;
+  base.precision.use_precision_ladder = true;
+  // Take the TF32 step early so the interruption lands after the latch.
+  base.precision.ladder_switch_error = 1e-1;
+
+  const ScfResult full = run_scf(w, bs, base);
+  ASSERT_TRUE(full.converged);
+  ASSERT_GT(full.iterations, 5);
+
+  const std::string ck = track("resume-ladder");
+  ScfOptions head = base;
+  head.max_iterations = 4;
+  head.durability.checkpoint_path = ck;
+  const ScfResult part = run_scf(w, bs, head);
+  ASSERT_FALSE(part.converged);
+
+  // The checkpoint must carry the non-default governor state.
+  const ScfCheckpointState saved = load_checkpoint(ck);
+  EXPECT_EQ(saved.governor_ladder_stage, 1)
+      << "interruption did not land after the TF32 latch; trajectory changed";
+
+  ScfOptions tail = base;
+  tail.durability.restore_path = ck;
+  const ScfResult resumed = run_scf(w, bs, tail);
+  EXPECT_TRUE(resumed.converged);
+  EXPECT_EQ(resumed.resumed_from, 4);
+  EXPECT_EQ(resumed.energy, full.energy);
+  expect_bitwise_equal(resumed.density, full.density);
+  ASSERT_EQ(resumed.iteration_log.size(), full.iteration_log.size() - 4);
+  for (std::size_t i = 0; i < resumed.iteration_log.size(); ++i) {
+    EXPECT_EQ(resumed.iteration_log[i].energy,
+              full.iteration_log[i + 4].energy)
+        << "trajectory diverged at resumed iteration " << i;
+    EXPECT_EQ(resumed.iteration_log[i].quartets_quantized,
+              full.iteration_log[i + 4].quartets_quantized)
+        << "quartet routing diverged at resumed iteration " << i;
+  }
+}
+
+/// Restoring under a different --precision mode is refused: the mode shapes
+/// the whole trajectory, so it is part of the checkpoint fingerprint.
+TEST_F(CheckpointTest, ScfRejectsCheckpointUnderDifferentPrecisionMode) {
+  const Molecule w = make_water();
+  const BasisSet bs(w, "sto-3g");
+  const std::string ck = track("precision-mode");
+  ScfOptions head;
+  head.enable_quantization = true;
+  head.max_iterations = 2;
+  head.durability.checkpoint_path = ck;
+  (void)run_scf(w, bs, head);
+
+  ScfOptions tail = head;
+  tail.max_iterations = 60;
+  tail.durability.checkpoint_path.clear();
+  tail.durability.restore_path = ck;
+  tail.precision.mode = PrecisionMode::kFP64;
+  try {
+    (void)run_scf(w, bs, tail);
+    FAIL() << "restored a checkpoint under a different precision mode";
+  } catch (const InputError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kCheckpointMismatch);
+  }
+
+  // A ladder flip is also trajectory-shaping and must be refused too.
+  ScfOptions ladder = head;
+  ladder.durability.checkpoint_path.clear();
+  ladder.durability.restore_path = ck;
+  ladder.precision.use_precision_ladder = true;
+  EXPECT_THROW((void)run_scf(w, bs, ladder), InputError);
 }
 
 TEST_F(CheckpointTest, CheckpointIntervalSkipsIntermediateWrites) {

@@ -73,7 +73,7 @@ TEST_F(RecoveryLadderTest, NaNInJEscalatesToFp64AndConvergesExact) {
 
   ScfOptions opt;
   opt.enable_quantization = true;
-  opt.scheduler.start_fp64_threshold = 1e2;  // route everything early
+  opt.precision.start_fp64_threshold = 1e2;  // route everything early
   const ScfResult r = run_scf(w, bs, opt, &quantized_context());
 
   EXPECT_TRUE(r.converged);
@@ -101,7 +101,7 @@ TEST_F(RecoveryLadderTest, QuantizedOperandCorruptionRecovers) {
 
   ScfOptions opt;
   opt.enable_quantization = true;
-  opt.scheduler.start_fp64_threshold = 1e2;
+  opt.precision.start_fp64_threshold = 1e2;
   const ScfResult r = run_scf(w, bs, opt, &quantized_context());
 
   EXPECT_TRUE(r.converged);

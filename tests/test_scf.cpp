@@ -88,7 +88,7 @@ TEST(ScfTest, QuantizedIterationsActuallyQuantize) {
   const BasisSet bs(w, "sto-3g");
   ScfOptions quant;
   quant.enable_quantization = true;
-  quant.scheduler.start_fp64_threshold = 1e2;  // route everything early
+  quant.precision.start_fp64_threshold = 1e2;  // route everything early
   const ScfResult r = run_scf(w, bs, quant, &quantized_context());
   EXPECT_GT(r.iteration_log.front().quartets_quantized, 0);
   // Final iterations are exact.

@@ -51,17 +51,25 @@ TEST(IncrementalFockTest, WorksWithQuantization) {
 }
 
 TEST(PrecisionLadderTest, StepsFp16ToTf32) {
-  ConvergenceAwareScheduler plain;
-  SchedulerConfig ladder_cfg;
+  const GemmCapabilities caps{/*quantized=*/true, /*register_blocked=*/true,
+                              "test"};
+  PrecisionConfig ladder_cfg;
   ladder_cfg.use_precision_ladder = true;
-  ConvergenceAwareScheduler ladder(ladder_cfg);
+  PrecisionGovernor plain(PrecisionConfig{}, /*enable_quantization=*/true,
+                          caps, "test", 1e-11);
+  PrecisionGovernor ladder(ladder_cfg, /*enable_quantization=*/true, caps,
+                           "test", 1e-11);
 
   // Far from convergence: FP16 either way.
-  EXPECT_EQ(ladder.policy_for_error(0.5).quant_precision, Precision::kFP16);
-  EXPECT_EQ(plain.policy_for_error(0.5).quant_precision, Precision::kFP16);
+  EXPECT_EQ(ladder.plan_for_iteration(0, 0.5).quant_precision,
+            Precision::kFP16);
+  EXPECT_EQ(plain.plan_for_iteration(0, 0.5).quant_precision,
+            Precision::kFP16);
   // Near convergence (but above the exact switch): ladder steps to TF32.
-  EXPECT_EQ(ladder.policy_for_error(1e-4).quant_precision, Precision::kTF32);
-  EXPECT_EQ(plain.policy_for_error(1e-4).quant_precision, Precision::kFP16);
+  EXPECT_EQ(ladder.plan_for_iteration(1, 1e-4).quant_precision,
+            Precision::kTF32);
+  EXPECT_EQ(plain.plan_for_iteration(1, 1e-4).quant_precision,
+            Precision::kFP16);
 }
 
 TEST(PrecisionLadderTest, ScfWithLadderConverges) {
@@ -69,7 +77,7 @@ TEST(PrecisionLadderTest, ScfWithLadderConverges) {
   const BasisSet bs(w, "sto-3g");
   ScfOptions opt;
   opt.enable_quantization = true;
-  opt.scheduler.use_precision_ladder = true;
+  opt.precision.use_precision_ladder = true;
   const ScfResult r = run_scf(w, bs, opt);
   EXPECT_TRUE(r.converged);
   EXPECT_NEAR(r.energy, -74.96293, 1e-3);
